@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper: it
+runs the corresponding experiment (through pytest-benchmark so wall-clock cost
+is recorded), prints the same rows/series the paper reports, and asserts the
+qualitative *shape* of the result (who wins, roughly by how much) rather than
+absolute numbers.
+
+Runtime is controlled by the same environment variables as the experiment
+runner (see ``repro.experiments.runner``): ``REPRO_EXPERIMENT_REFS``,
+``REPRO_WORKLOADS``, ``REPRO_HARDWARE_SCALE``, ``REPRO_CACHE_DIR``.
+Simulation results are memoised in-process, so benches that share runs
+(e.g. Figures 20-24) only pay for them once.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings, FigureResult
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings()
+
+
+def run_experiment(benchmark, experiment_fn, settings: ExperimentSettings,
+                   **kwargs) -> FigureResult:
+    """Run ``experiment_fn`` once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(lambda: experiment_fn(settings, **kwargs),
+                                rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    if result.paper_expectation:
+        print("\npaper vs. measured:")
+        for key, paper, measured in result.comparison_rows():
+            print(f"  {key}: paper={paper}  measured={measured}")
+    if result.notes:
+        print(f"note: {result.notes}")
+    sys.stdout.flush()
+    return result

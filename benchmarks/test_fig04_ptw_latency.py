@@ -1,0 +1,13 @@
+"""Figure 4: distribution of page-table-walk latency in the baseline system."""
+
+from repro.experiments.motivation import fig04_ptw_latency
+from benchmarks.conftest import run_experiment
+
+
+def test_fig04_ptw_latency(benchmark, settings):
+    result = run_experiment(benchmark, fig04_ptw_latency, settings)
+    mean = result.measured["mean PTW latency (cycles)"]
+    # Walks must be expensive relative to an L2 cache hit (16 cycles): that gap
+    # is the opportunity Victima exploits.
+    assert mean > 40
+    assert sum(row[1] for row in result.rows) > 0

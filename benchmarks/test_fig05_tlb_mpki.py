@@ -1,0 +1,14 @@
+"""Figure 5: L2 TLB MPKI as the L2 TLB grows from 1.5K to 64K entries."""
+
+from repro.experiments.motivation import fig05_tlb_mpki
+from benchmarks.conftest import run_experiment
+
+
+def test_fig05_tlb_mpki(benchmark, settings):
+    result = run_experiment(benchmark, fig05_tlb_mpki, settings)
+    baseline = result.measured["baseline mean MPKI"]
+    largest = result.measured["64K-entry mean MPKI"]
+    # Workload selection criterion (Table 4): baseline MPKI above 5; and a
+    # larger TLB must reduce but not eliminate misses.
+    assert baseline > 5
+    assert largest < baseline

@@ -1,0 +1,14 @@
+"""Figure 6: speedup of larger L2 TLBs at a fixed, optimistic 12-cycle latency."""
+
+from repro.experiments.large_tlbs import fig06_opt_l2tlb
+from benchmarks.conftest import run_experiment
+
+
+def test_fig06_opt_l2tlb(benchmark, settings):
+    result = run_experiment(benchmark, fig06_opt_l2tlb, settings)
+    gmean_row = result.rows[-1]
+    assert gmean_row[0] == "GMEAN"
+    # Larger optimistic TLBs should help, and the 64K configuration should be
+    # the best of the sweep.
+    assert gmean_row[-1] >= gmean_row[1] - 0.01
+    assert result.measured["GMEAN speedup of optimistic 64K L2 TLB"] > 1.0

@@ -1,0 +1,14 @@
+"""Figure 7: speedup of larger L2 TLBs at realistic (CACTI-derived) latencies."""
+
+from repro.experiments.large_tlbs import fig06_opt_l2tlb, fig07_realistic_l2tlb
+from benchmarks.conftest import run_experiment
+
+
+def test_fig07_realistic_l2tlb(benchmark, settings):
+    result = run_experiment(benchmark, fig07_realistic_l2tlb, settings)
+    optimistic = fig06_opt_l2tlb(settings)  # shares cached runs with Figure 6
+    realistic_gmean = result.measured["GMEAN speedup of realistic 64K L2 TLB"]
+    optimistic_gmean = optimistic.measured["GMEAN speedup of optimistic 64K L2 TLB"]
+    # The paper's point: once the access latency scales with size, the benefit
+    # of a big L2 TLB largely evaporates.
+    assert realistic_gmean < optimistic_gmean

@@ -1,0 +1,11 @@
+"""Figure 8: a 64K-entry hardware L3 TLB at access latencies from 15 to 39 cycles."""
+
+from repro.experiments.large_tlbs import fig08_l3tlb
+from benchmarks.conftest import run_experiment
+
+
+def test_fig08_l3tlb(benchmark, settings):
+    result = run_experiment(benchmark, fig08_l3tlb, settings)
+    gmean_row = result.rows[-1]
+    # Higher L3 TLB latency must not increase the speedup.
+    assert gmean_row[1] >= gmean_row[-1] - 0.01

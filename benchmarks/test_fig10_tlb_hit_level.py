@@ -1,0 +1,16 @@
+"""Figure 10: reduction in miss latency if every L2 TLB miss hit in L1/L2/LLC."""
+
+from repro.experiments.motivation import fig10_tlb_hit_level
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10_tlb_hit_level(benchmark, settings):
+    result = run_experiment(benchmark, fig10_tlb_hit_level, settings)
+    llc_reduction = result.measured["mean reduction at LLC (%)"]
+    l2_reduction = result.measured["mean reduction at L2 (%)"]
+    # Serving every L2 TLB miss from the L2 cache (Victima's case) must cut the
+    # miss latency by a wide margin; even the LLC must still help on average.
+    # (On the scaled machine some graph kernels' walks are already close to an
+    # LLC access, so the LLC-level bound is looser than the paper's 71.9%.)
+    assert l2_reduction > 40
+    assert llc_reduction > 0

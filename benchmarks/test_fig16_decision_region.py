@@ -1,0 +1,13 @@
+"""Figure 16: the comparator PTW-CP's decision region over (frequency, cost)."""
+
+from repro.experiments.ptwcp import fig16_decision_region
+from benchmarks.conftest import run_experiment
+
+
+def test_fig16_decision_region(benchmark, settings):
+    result = run_experiment(benchmark, fig16_decision_region, settings)
+    cells = [cell for row in result.rows for cell in row[1:]]
+    # The fitted decision region must be a genuine partition of the
+    # (frequency, cost) grid: some pages costly, some not.
+    assert "costly" in cells
+    assert "-" in cells

@@ -1,0 +1,11 @@
+"""Figure 21: reduction in page-table walks over Radix (native execution)."""
+
+from repro.experiments.native import fig21_ptw_reduction
+from benchmarks.conftest import run_experiment
+
+
+def test_fig21_ptw_reduction(benchmark, settings):
+    result = run_experiment(benchmark, fig21_ptw_reduction, settings)
+    victima = result.measured["Victima mean PTW reduction (%)"]
+    # Victima must remove a substantial fraction of walks (the paper reports 50%).
+    assert victima > 25

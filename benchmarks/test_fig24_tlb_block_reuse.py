@@ -1,0 +1,18 @@
+"""Figure 24: reuse-level distribution of TLB blocks resident in the L2 cache."""
+
+from repro.experiments.motivation import fig11_cache_reuse
+from repro.experiments.native import fig24_tlb_block_reuse
+from benchmarks.conftest import run_experiment
+
+
+def test_fig24_tlb_block_reuse(benchmark, settings):
+    result = run_experiment(benchmark, fig24_tlb_block_reuse, settings)
+    data_reuse = fig11_cache_reuse(settings)  # cached runs
+    tlb_high_reuse = result.measured["fraction of TLB blocks with reuse >= 10 (%)"]
+    hits_per_block = result.measured["mean hits per inserted TLB block"]
+    data_zero_reuse = data_reuse.measured["mean zero-reuse fraction (%)"]
+    # TLB blocks must be far better cache citizens than data blocks: data is
+    # mostly dead on arrival while TLB blocks are re-referenced many times
+    # (either the reuse histogram or the hits-per-block metric must show it).
+    assert data_zero_reuse > 60
+    assert tlb_high_reuse > 10 or hits_per_block > 3

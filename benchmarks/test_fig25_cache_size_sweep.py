@@ -1,0 +1,11 @@
+"""Figure 25: Victima's PTW reduction across L2 cache sizes (1 MB to 8 MB)."""
+
+from repro.experiments.ablations import fig25_cache_size_sweep
+from benchmarks.conftest import run_experiment
+
+
+def test_fig25_cache_size_sweep(benchmark, settings):
+    result = run_experiment(benchmark, fig25_cache_size_sweep, settings)
+    mean_row = result.rows[-1]
+    # A larger L2 cache must not reduce (and should increase) the PTW savings.
+    assert mean_row[-1] >= mean_row[1] - 2.0

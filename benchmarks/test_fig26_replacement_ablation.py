@@ -1,0 +1,13 @@
+"""Figure 26: Victima with TLB-aware SRRIP vs. Victima with TLB-agnostic SRRIP."""
+
+from repro.experiments.ablations import fig26_replacement_ablation
+from benchmarks.conftest import run_experiment
+
+
+def test_fig26_replacement_ablation(benchmark, settings):
+    result = run_experiment(benchmark, fig26_replacement_ablation, settings)
+    benefit = result.measured["GMEAN benefit of TLB-aware SRRIP (%)"]
+    # Victima must deliver with either policy; the TLB-aware policy gives a
+    # small extra benefit (the paper reports 1.8%), so the delta must not be a
+    # large regression.
+    assert benefit > -3.0

@@ -1,0 +1,14 @@
+"""Figure 27: virtualized-execution speedup over nested paging."""
+
+from repro.experiments.virtualized import fig27_virt_speedup
+from benchmarks.conftest import run_experiment
+
+
+def test_fig27_virt_speedup(benchmark, settings):
+    result = run_experiment(benchmark, fig27_virt_speedup, settings)
+    victima = result.measured["Victima GMEAN speedup over NP"]
+    # Headline claims of Section 9.3: Victima clearly beats nested paging and
+    # the POM-TLB, and at least matches ideal shadow paging.
+    assert victima > 1.05
+    assert result.measured["Victima vs POM-TLB (x)"] > 1.0
+    assert result.measured["Victima vs Ideal Shadow Paging (x)"] > 0.95

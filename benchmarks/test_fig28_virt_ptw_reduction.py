@@ -1,0 +1,15 @@
+"""Figure 28: reduction in guest and host page-table walks over nested paging."""
+
+from repro.experiments.virtualized import fig28_virt_ptw_reduction
+from benchmarks.conftest import run_experiment
+
+
+def test_fig28_virt_ptw_reduction(benchmark, settings):
+    result = run_experiment(benchmark, fig28_virt_ptw_reduction, settings)
+    guest = result.measured["Victima guest PTW reduction (%)"]
+    host = result.measured["Victima host PTW reduction (%)"]
+    # Nested TLB blocks should all but eliminate host walks; conventional TLB
+    # blocks should remove a large fraction of guest walks.
+    assert guest > 25
+    assert host > 60
+    assert host > guest

@@ -1,0 +1,15 @@
+"""Figure 29: L2 TLB miss latency normalised to nested paging (host/guest split)."""
+
+from repro.experiments.virtualized import fig29_virt_miss_latency
+from benchmarks.conftest import run_experiment
+
+
+def test_fig29_virt_miss_latency(benchmark, settings):
+    result = run_experiment(benchmark, fig29_virt_miss_latency, settings)
+    victima = result.measured["Victima normalised miss latency"]
+    shadow = result.measured["I-SP normalised miss latency"]
+    # Both must cut the nested-paging miss latency substantially; Victima should
+    # be at least in the same league as ideal shadow paging.
+    assert victima < 0.8
+    assert shadow < 0.9
+    assert victima < shadow * 1.25

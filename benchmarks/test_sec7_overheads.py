@@ -1,0 +1,16 @@
+"""Section 7: Victima's area and power overheads."""
+
+from repro.experiments.overheads import sec7_overheads
+from benchmarks.conftest import run_experiment
+
+
+def test_sec7_overheads(benchmark, settings):
+    result = run_experiment(benchmark, sec7_overheads, settings)
+    area = result.measured["area overhead (%)"]
+    power = result.measured["power overhead (%)"]
+    storage = result.measured["storage overhead of L2 (%)"]
+    # The paper reports 0.04% area, 0.08% power and 0.4% L2 storage overhead;
+    # the analytical model must stay in that regime (well below 1%).
+    assert area < 0.2
+    assert power < 0.3
+    assert 0.2 <= storage <= 0.6

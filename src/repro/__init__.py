@@ -1,0 +1,96 @@
+"""Victima reproduction library.
+
+This package reproduces *Victima: Drastically Increasing Address Translation
+Reach by Leveraging Underutilized Cache Resources* (MICRO 2023) as a
+trace-driven functional + analytical-timing simulator written in pure Python.
+
+The public API is organised by subsystem:
+
+``repro.memory``
+    Physical memory, DRAM timing, the four-level radix page table and the
+    demand-paging / transparent-huge-page virtual memory manager.
+``repro.cache``
+    Set-associative caches, replacement policies (LRU, SRRIP and the paper's
+    TLB-aware SRRIP), prefetchers and the three-level cache hierarchy.
+``repro.mmu``
+    TLBs, page-walk caches, the hardware page-table walker and the MMU.
+``repro.core``
+    Victima itself: TLB blocks inside the L2 cache, the PTW cost predictor
+    (comparator and neural-network reference models) and the controller that
+    inserts / probes TLB blocks.
+``repro.virt``
+    Nested paging, the nested TLB, ideal shadow paging and the virtualized MMU.
+``repro.baselines``
+    POM-TLB (large software-managed TLB) and large hardware TLB baselines.
+``repro.workloads``
+    Synthetic data-intensive workload generators (GraphBIG-like, GUPS, XSBench,
+    DLRM, GenomicsBench).
+``repro.sim``
+    Simulation configuration, the system factory, the trace-driven simulator
+    loop and statistics.
+``repro.analysis``
+    CACTI-style TLB latency/area scaling, McPAT-style overheads and metrics.
+``repro.experiments``
+    One runner per paper table/figure, with memoised results.
+
+Quick start::
+
+    from repro import quickstart
+    result = quickstart()
+    print(result.summary())
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    MMUConfig,
+    SimulationConfig,
+    SystemConfig,
+    SystemKind,
+    TLBConfig,
+    VictimaConfig,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import System, build_system
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "MMUConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "SystemKind",
+    "TLBConfig",
+    "VictimaConfig",
+    "SimulationResult",
+    "Simulator",
+    "System",
+    "build_system",
+    "WORKLOAD_NAMES",
+    "make_workload",
+    "quickstart",
+    "__version__",
+]
+
+
+def quickstart(workload: str = "rnd", system: str = "victima", max_refs: int = 20_000):
+    """Run a small end-to-end simulation and return its :class:`SimulationResult`.
+
+    Parameters
+    ----------
+    workload:
+        Name of a workload from :data:`repro.workloads.registry.WORKLOAD_NAMES`.
+    system:
+        Name of an evaluated system (``radix``, ``victima``, ``pom_tlb``,
+        ``opt_l2tlb_64k``, ``opt_l2tlb_128k``, ``opt_l3tlb_64k``,
+        ``nested_paging``, ``virt_victima``, ...).
+    max_refs:
+        Number of memory references to simulate.
+    """
+    from repro.sim.presets import make_system_config, make_workload_config
+
+    sys_cfg = make_system_config(system)
+    wl_cfg = make_workload_config(workload, max_refs=max_refs)
+    sim = Simulator.from_configs(sys_cfg, wl_cfg)
+    return sim.run()

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results as paper-style tables.
+
+Every experiment runner returns structured data (dicts / dataclasses); this
+module renders them as aligned text tables so that the benchmark harness can
+print the same rows/series the paper reports, and ``examples/reproduce_paper.py``
+can assemble EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a simple aligned text table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, mapping: Mapping[object, object]) -> str:
+    """Render a one-line ``name: key=value key=value ...`` series."""
+    parts = [f"{key}={_fmt(value)}" for key, value in mapping.items()]
+    return f"{name}: " + "  ".join(parts)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,48 @@
+"""Large hardware TLB baselines (Section 3.1 and the Opt. configurations).
+
+Helpers that build the TLB objects used by the evaluated systems:
+
+* the baseline 1.5K-entry 12-cycle unified L2 TLB,
+* enlarged L2 TLBs with either an *optimistic* fixed 12-cycle latency
+  (Figure 6, Opt. L2 TLB 64K/128K) or a *realistic* CACTI-derived latency
+  (Figure 7),
+* a large L3 TLB appended behind the baseline L2 TLB (Figure 8,
+  Opt. L3 TLB 64K).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.cacti import tlb_access_latency
+from repro.common.addresses import PageSize
+from repro.mmu.tlb import TLB
+
+BOTH_PAGE_SIZES = (PageSize.SIZE_4K, PageSize.SIZE_2M)
+
+
+def make_baseline_l2_tlb() -> TLB:
+    """The baseline unified L2 TLB of Table 3: 1536 entries, 12-way, 12 cycles."""
+    return TLB("L2-TLB", entries=1536, associativity=12, latency=12,
+               page_sizes=BOTH_PAGE_SIZES)
+
+
+def make_large_l2_tlb(entries: int, optimistic: bool = True,
+                      latency: Optional[int] = None, associativity: int = 16) -> TLB:
+    """A large unified L2 TLB.
+
+    ``optimistic=True`` keeps the baseline 12-cycle latency regardless of size
+    (the "Opt." configurations); otherwise the latency follows the CACTI
+    scaling curve.  An explicit ``latency`` overrides both.
+    """
+    if latency is None:
+        latency = 12 if optimistic else tlb_access_latency(entries)
+    return TLB(f"L2-TLB-{entries}", entries=entries, associativity=associativity,
+               latency=latency, page_sizes=BOTH_PAGE_SIZES)
+
+
+def make_l3_tlb(entries: int = 64 * 1024, latency: int = 15,
+                associativity: int = 16) -> TLB:
+    """A hardware L3 TLB behind the baseline L2 TLB (Figure 8)."""
+    return TLB(f"L3-TLB-{entries}", entries=entries, associativity=associativity,
+               latency=latency, page_sizes=BOTH_PAGE_SIZES)

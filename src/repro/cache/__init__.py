@@ -1,0 +1,33 @@
+"""Set-associative caches, replacement policies, prefetchers and the hierarchy."""
+
+from repro.cache.block import BlockKind, CacheBlock, data_key, nested_tlb_key, tlb_key
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.hierarchy import AccessResult, CacheHierarchy, MemoryLevel
+from repro.cache.prefetcher import IPStridePrefetcher, StreamPrefetcher
+from repro.cache.replacement import (
+    LRUPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    TLBAwareSRRIPPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "BlockKind",
+    "CacheBlock",
+    "data_key",
+    "tlb_key",
+    "nested_tlb_key",
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "CacheHierarchy",
+    "MemoryLevel",
+    "IPStridePrefetcher",
+    "StreamPrefetcher",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "TLBAwareSRRIPPolicy",
+    "make_policy",
+]

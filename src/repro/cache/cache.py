@@ -1,0 +1,256 @@
+"""Set-associative cache model.
+
+The cache stores :class:`~repro.cache.block.CacheBlock` objects in sets.  It is
+kind-agnostic: conventional data blocks and Victima TLB / nested-TLB blocks
+live side by side in the same sets and compete through the replacement policy,
+which is exactly the property the paper exploits.
+
+The cache is a *functional + latency* model: it tracks residency, replacement
+state, reuse and statistics, and reports a fixed access latency; bandwidth and
+MSHR contention are not modelled (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.addresses import is_power_of_two
+from repro.common.errors import ConfigurationError
+from repro.cache.block import BlockKind, CacheBlock, CacheKey
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+
+
+@dataclass
+class CacheStats:
+    """Aggregate statistics for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    fills: int = 0
+    writebacks: int = 0
+    tlb_block_hits: int = 0
+    tlb_block_fills: int = 0
+    tlb_block_evictions: int = 0
+    prefetch_fills: int = 0
+    # Reuse histograms keyed by block kind then by reuse count (recorded at
+    # eviction time); used for Figures 11 and 24.
+    reuse_histogram: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record_reuse(self, kind: BlockKind, reuse: int) -> None:
+        per_kind = self.reuse_histogram.setdefault(kind.value, {})
+        per_kind[reuse] = per_kind.get(reuse, 0) + 1
+
+    def reuse_distribution(self, kind: BlockKind) -> Dict[int, int]:
+        return dict(self.reuse_histogram.get(kind.value, {}))
+
+
+class CacheSet:
+    """One set: a list of ways plus the per-set replacement state."""
+
+    __slots__ = ("ways", "access_counter")
+
+    def __init__(self, associativity: int):
+        self.ways: List[Optional[CacheBlock]] = [None] * associativity
+        self.access_counter = 0
+
+    def find(self, tag: tuple) -> Optional[int]:
+        for way, block in enumerate(self.ways):
+            if block is not None and block.tag == tag:
+                return way
+        return None
+
+    def first_invalid(self) -> Optional[int]:
+        for way, block in enumerate(self.ways):
+            if block is None:
+                return way
+        return None
+
+    @property
+    def valid_blocks(self) -> List[CacheBlock]:
+        return [b for b in self.ways if b is not None]
+
+
+class Cache:
+    """A single level of set-associative cache."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        latency: int,
+        block_size: int = 64,
+        replacement_policy: Optional[ReplacementPolicy] = None,
+        on_eviction: Optional[Callable[[CacheBlock], None]] = None,
+    ):
+        if size_bytes % (associativity * block_size) != 0:
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} is not a multiple of "
+                f"associativity*block_size ({associativity}*{block_size})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.block_size = block_size
+        self.latency = latency
+        self.num_sets = size_bytes // (associativity * block_size)
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(f"{name}: number of sets ({self.num_sets}) must be a power of two")
+        self.policy = replacement_policy or LRUPolicy()
+        self.on_eviction = on_eviction
+        self.stats = CacheStats()
+        self._sets: List[CacheSet] = [CacheSet(associativity) for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def set_index(self, key: CacheKey) -> int:
+        return key[0] & (self.num_sets - 1)
+
+    def _set_for(self, key: CacheKey) -> CacheSet:
+        return self._sets[self.set_index(key)]
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert / invalidate
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: CacheKey, update_replacement: bool = True,
+               count_access: bool = True) -> Optional[CacheBlock]:
+        """Look ``key`` up; on a hit update replacement state and reuse."""
+        cache_set = self._set_for(key)
+        way = cache_set.find(key[1])
+        if count_access:
+            self.stats.accesses += 1
+        if way is None:
+            if count_access:
+                self.stats.misses += 1
+            return None
+        block = cache_set.ways[way]
+        assert block is not None
+        if count_access:
+            self.stats.hits += 1
+            if block.is_tlb_block:
+                self.stats.tlb_block_hits += 1
+        if update_replacement:
+            block.reuse_count += 1
+            if block.prefetched:
+                block.prefetched = False
+            self.policy.on_hit(cache_set, block)
+        return block
+
+    def contains(self, key: CacheKey) -> bool:
+        """Residency check with no statistics or replacement side effects."""
+        return self._set_for(key).find(key[1]) is not None
+
+    def peek(self, key: CacheKey) -> Optional[CacheBlock]:
+        """Return the resident block for ``key`` without any side effects."""
+        cache_set = self._set_for(key)
+        way = cache_set.find(key[1])
+        return cache_set.ways[way] if way is not None else None
+
+    def insert(self, block: CacheBlock, prefetched: bool = False) -> Optional[CacheBlock]:
+        """Insert ``block``; returns the evicted block, if any.
+
+        If a block with the same tag is already resident it is overwritten in
+        place (refreshing its payload) and nothing is evicted.
+        """
+        cache_set = self._set_for(block.key)
+        existing_way = cache_set.find(block.tag)
+        block.prefetched = prefetched
+        if existing_way is not None:
+            old = cache_set.ways[existing_way]
+            assert old is not None
+            block.reuse_count = old.reuse_count
+            block.rrpv = old.rrpv
+            block.last_touch = old.last_touch
+            cache_set.ways[existing_way] = block
+            return None
+
+        way = cache_set.first_invalid()
+        evicted: Optional[CacheBlock] = None
+        if way is None:
+            way = self.policy.select_victim(cache_set)
+            evicted = cache_set.ways[way]
+        cache_set.ways[way] = block
+        self.policy.on_insert(cache_set, block)
+        self.stats.fills += 1
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        if block.is_tlb_block:
+            self.stats.tlb_block_fills += 1
+        if evicted is not None:
+            self._record_eviction(evicted)
+        return evicted
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Remove the block for ``key`` if resident.  Returns True if removed."""
+        cache_set = self._set_for(key)
+        way = cache_set.find(key[1])
+        if way is None:
+            return False
+        block = cache_set.ways[way]
+        cache_set.ways[way] = None
+        assert block is not None
+        self._record_eviction(block, invalidation=True)
+        return True
+
+    def invalidate_matching(self, predicate: Callable[[CacheBlock], bool]) -> int:
+        """Invalidate every resident block for which ``predicate`` is true.
+
+        Used by TLB shootdowns and context-switch flushes (Section 6): e.g.
+        "all TLB blocks", "all TLB blocks with ASID x", or "the TLB block
+        covering virtual page v".
+        """
+        removed = 0
+        for cache_set in self._sets:
+            for way, block in enumerate(cache_set.ways):
+                if block is not None and predicate(block):
+                    cache_set.ways[way] = None
+                    self._record_eviction(block, invalidation=True)
+                    removed += 1
+        return removed
+
+    def _record_eviction(self, block: CacheBlock, invalidation: bool = False) -> None:
+        self.stats.evictions += 1
+        if block.dirty:
+            self.stats.writebacks += 1
+        if block.is_tlb_block:
+            self.stats.tlb_block_evictions += 1
+        self.stats.record_reuse(block.kind, block.reuse_count)
+        if self.on_eviction is not None and not invalidation:
+            self.on_eviction(block)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def resident_blocks(self, kind: Optional[BlockKind] = None) -> List[CacheBlock]:
+        blocks: List[CacheBlock] = []
+        for cache_set in self._sets:
+            for block in cache_set.valid_blocks:
+                if kind is None or block.kind is kind:
+                    blocks.append(block)
+        return blocks
+
+    def occupancy(self, kind: Optional[BlockKind] = None) -> int:
+        """Number of resident blocks, optionally restricted to one kind."""
+        return len(self.resident_blocks(kind))
+
+    @property
+    def total_blocks(self) -> int:
+        return self.num_sets * self.associativity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.size_bytes >> 10}KB, {self.associativity}-way, "
+            f"{self.latency}-cycle, policy={self.policy.name})"
+        )

@@ -1,0 +1,33 @@
+"""Exception hierarchy used across the library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Examples: a cache whose size is not a multiple of ``associativity *
+    block_size``, a TLB with a non-power-of-two number of sets, or a system
+    kind that does not support the requested option.
+    """
+
+
+class TranslationFault(ReproError):
+    """Raised when a virtual address cannot be translated.
+
+    In the simulator this only happens on genuine bugs (the virtual memory
+    manager demand-allocates every touched page), so surfacing it loudly is
+    preferable to silently fabricating a mapping.
+    """
+
+    def __init__(self, vaddr: int, asid: int, reason: str = "unmapped virtual address"):
+        super().__init__(f"{reason}: vaddr=0x{vaddr:x} asid={asid}")
+        self.vaddr = vaddr
+        self.asid = asid
+        self.reason = reason
+
+
+class OutOfPhysicalMemory(ReproError):
+    """Raised when the physical frame allocator cannot satisfy an allocation."""

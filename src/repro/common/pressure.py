@@ -1,0 +1,62 @@
+"""Run-time pressure signals shared between the MMU, the caches and Victima.
+
+Victima's insertion and replacement decisions are gated by two MPKI-style
+signals (Section 5.1 / 5.2 of the paper):
+
+* **Translation pressure** — the L2 TLB miss rate (misses per kilo
+  instructions).  The TLB-aware replacement policy and the high-priority
+  insertion of TLB blocks only activate when this exceeds a threshold
+  (5 MPKI in the paper).
+* **Data-locality pressure** — the L2 *cache* MPKI.  When data exhibits very
+  low locality, caching data is not beneficial, so the PTW cost predictor is
+  bypassed and TLB blocks are always inserted.
+
+Both signals are produced by :class:`PressureMonitor`, which the simulator
+ticks with retired instructions and the MMU / L2 cache feed with miss events.
+"""
+
+from __future__ import annotations
+
+from repro.common.counters import EventRateMonitor
+
+
+class PressureMonitor:
+    """Aggregates the L2 TLB and L2 cache MPKI signals."""
+
+    def __init__(self, window_instructions: int = 50_000,
+                 tlb_pressure_threshold: float = 5.0,
+                 cache_pressure_threshold: float = 5.0):
+        self.tlb_pressure_threshold = tlb_pressure_threshold
+        self.cache_pressure_threshold = cache_pressure_threshold
+        self._l2_tlb = EventRateMonitor(window_instructions)
+        self._l2_cache = EventRateMonitor(window_instructions)
+
+    # -- feeding ---------------------------------------------------------- #
+    def record_instructions(self, count: int) -> None:
+        self._l2_tlb.record_instructions(count)
+        self._l2_cache.record_instructions(count)
+
+    def record_l2_tlb_miss(self, count: int = 1) -> None:
+        self._l2_tlb.record_event(count)
+
+    def record_l2_cache_miss(self, count: int = 1) -> None:
+        self._l2_cache.record_event(count)
+
+    # -- reading ---------------------------------------------------------- #
+    @property
+    def l2_tlb_mpki(self) -> float:
+        return self._l2_tlb.rate_per_kilo_instructions
+
+    @property
+    def l2_cache_mpki(self) -> float:
+        return self._l2_cache.rate_per_kilo_instructions
+
+    @property
+    def translation_pressure_high(self) -> bool:
+        """True when the L2 TLB MPKI exceeds the activation threshold."""
+        return self.l2_tlb_mpki > self.tlb_pressure_threshold
+
+    @property
+    def data_locality_low(self) -> bool:
+        """True when the L2 cache MPKI is high enough to bypass the PTW-CP."""
+        return self.l2_cache_mpki > self.cache_pressure_threshold

@@ -1,0 +1,25 @@
+"""Victima: the paper's primary contribution.
+
+* :mod:`repro.core.ptw_cp` — the page-table-walk cost predictor (the
+  comparator-based design used by Victima plus the neural-network reference
+  models from the feature-selection study of Table 2).
+* :mod:`repro.core.mlp` — a small NumPy multi-layer perceptron used by the
+  reference models.
+* :mod:`repro.core.ptw_cp_training` — dataset construction, training and
+  evaluation utilities that regenerate Table 2 and Figure 16.
+* :mod:`repro.core.victima` — the Victima controller: probing and inserting
+  TLB blocks (and nested TLB blocks) in the L2 cache.
+"""
+
+from repro.core.mlp import MLPClassifier
+from repro.core.ptw_cp import ComparatorPTWCostPredictor, NeuralPTWCostPredictor, PTWCostPredictor
+from repro.core.victima import VictimaController, VictimaStats
+
+__all__ = [
+    "MLPClassifier",
+    "ComparatorPTWCostPredictor",
+    "NeuralPTWCostPredictor",
+    "PTWCostPredictor",
+    "VictimaController",
+    "VictimaStats",
+]

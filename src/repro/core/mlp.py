@@ -1,0 +1,137 @@
+"""A small NumPy multi-layer perceptron for the PTW-CP feature study.
+
+The paper's Table 2 compares three MLP architectures (NN-10, NN-5, NN-2)
+against the final comparator-based predictor.  We reproduce that study with a
+dependency-free NumPy implementation: fully connected layers, ReLU activations,
+a sigmoid output, binary cross-entropy loss and mini-batch gradient descent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TrainingReport:
+    """Summary of one training run."""
+
+    epochs: int
+    final_loss: float
+    losses: List[float]
+
+
+class MLPClassifier:
+    """A binary MLP classifier trained with mini-batch gradient descent."""
+
+    def __init__(self, layer_sizes: Sequence[int], seed: int = 0,
+                 learning_rate: float = 0.05, weight_bytes: int = 4):
+        if len(layer_sizes) < 2:
+            raise ValueError("an MLP needs at least an input and an output layer")
+        if layer_sizes[-1] != 1:
+            raise ValueError("the output layer must have exactly one unit (binary classifier)")
+        self.layer_sizes = list(layer_sizes)
+        self.learning_rate = learning_rate
+        self.weight_bytes = weight_bytes
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------ #
+    # Model size (the "Size (B)" row of Table 2)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_parameters(self) -> int:
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint assuming ``weight_bytes`` bytes per parameter."""
+        return self.num_parameters * self.weight_bytes
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_sizes)
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _relu(x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+    def _forward(self, x: np.ndarray) -> tuple[List[np.ndarray], List[np.ndarray]]:
+        activations = [x]
+        pre_activations: List[np.ndarray] = []
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            pre_activations.append(z)
+            h = self._sigmoid(z) if i == last else self._relu(z)
+            activations.append(h)
+        return activations, pre_activations
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Return P(costly-to-translate) for each row of ``x``."""
+        x = np.asarray(x, dtype=float)
+        activations, _ = self._forward(x)
+        return activations[-1].ravel()
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x) >= threshold).astype(int)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 60,
+            batch_size: int = 128, seed: int = 0, verbose: bool = False) -> TrainingReport:
+        """Train with mini-batch gradient descent on binary cross-entropy."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        rng = np.random.default_rng(seed)
+        n = x.shape[0]
+        losses: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                epoch_loss += self._train_batch(x[idx], y[idx])
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+            if verbose:  # pragma: no cover - debugging aid
+                print(f"epoch loss {losses[-1]:.4f}")
+        return TrainingReport(epochs=epochs, final_loss=losses[-1] if losses else 0.0,
+                              losses=losses)
+
+    def _train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        activations, pre_activations = self._forward(x)
+        output = activations[-1]
+        eps = 1e-9
+        loss = float(-np.mean(y * np.log(output + eps) + (1 - y) * np.log(1 - output + eps)))
+
+        batch = x.shape[0]
+        delta = (output - y) / batch  # d(loss)/d(z_last) for sigmoid + BCE
+        grads_w: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        grads_b: List[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        for layer in reversed(range(len(self.weights))):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                relu_grad = (pre_activations[layer - 1] > 0).astype(float)
+                delta = (delta @ self.weights[layer].T) * relu_grad
+        for layer in range(len(self.weights)):
+            self.weights[layer] -= self.learning_rate * grads_w[layer]
+            self.biases[layer] -= self.learning_rate * grads_b[layer]
+        return loss

@@ -1,0 +1,173 @@
+"""Shared experiment infrastructure: settings, run cache and the run matrix.
+
+All experiment functions accept an optional :class:`ExperimentSettings`.  The
+defaults can be tuned through environment variables so the benchmark harness
+can be made faster or more thorough without code changes:
+
+* ``REPRO_EXPERIMENT_REFS`` — memory references per simulation (default 20000).
+* ``REPRO_HARDWARE_SCALE`` — machine scale-down factor (default 8, see DESIGN.md).
+* ``REPRO_WORKLOADS`` — comma-separated subset of workloads (default: all 11).
+* ``REPRO_WARMUP_FRACTION`` — warm-up fraction of each run (default 0.3).
+* ``REPRO_CACHE_DIR`` — if set, completed runs are pickled there and re-used
+  across processes (the in-process cache is always active).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_markdown_table, format_table
+from repro.sim.presets import make_system_config, make_workload_config
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return float(value) if value else default
+
+
+def _env_workloads() -> Tuple[str, ...]:
+    value = os.environ.get("REPRO_WORKLOADS")
+    if not value:
+        return tuple(WORKLOAD_NAMES)
+    return tuple(w.strip() for w in value.split(",") if w.strip())
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment run."""
+
+    max_refs: int = field(default_factory=lambda: _env_int("REPRO_EXPERIMENT_REFS", 20_000))
+    hardware_scale: int = field(default_factory=lambda: _env_int("REPRO_HARDWARE_SCALE", 8))
+    warmup_fraction: float = field(default_factory=lambda: _env_float("REPRO_WARMUP_FRACTION", 0.3))
+    seed: int = 42
+    workloads: Tuple[str, ...] = field(default_factory=_env_workloads)
+
+    def scaled_down(self, factor: int) -> "ExperimentSettings":
+        """A cheaper copy (used by sweep experiments with many configurations)."""
+        return ExperimentSettings(
+            max_refs=min(self.max_refs, max(2_000, self.max_refs // factor)),
+            hardware_scale=self.hardware_scale,
+            warmup_fraction=self.warmup_fraction,
+            seed=self.seed,
+            workloads=self.workloads,
+        )
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one experiment (one paper table/figure)."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    #: The headline number(s) the paper reports, for EXPERIMENTS.md.
+    paper_expectation: Dict[str, object] = field(default_factory=dict)
+    #: The corresponding measured values.
+    measured: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_table(self) -> str:
+        return format_table(self.headers, self.rows,
+                            title=f"{self.experiment_id}: {self.title}")
+
+    def to_markdown(self) -> str:
+        return format_markdown_table(self.headers, self.rows)
+
+    def comparison_rows(self) -> List[List[object]]:
+        """Paper-vs-measured rows for EXPERIMENTS.md."""
+        rows = []
+        for key, paper_value in self.paper_expectation.items():
+            rows.append([key, paper_value, self.measured.get(key, "n/a")])
+        return rows
+
+
+# --------------------------------------------------------------------------- #
+# Run cache
+# --------------------------------------------------------------------------- #
+_RESULT_CACHE: Dict[tuple, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop every memoised simulation result (mainly for tests)."""
+    _RESULT_CACHE.clear()
+
+
+def _cache_key(system_name: str, workload: str, settings: ExperimentSettings,
+               **overrides) -> tuple:
+    return (system_name, workload, settings.max_refs, settings.hardware_scale,
+            settings.warmup_fraction, settings.seed,
+            tuple(sorted(overrides.items())))
+
+
+def _disk_cache_path(key: tuple) -> Optional[str]:
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    os.makedirs(cache_dir, exist_ok=True)
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+    return os.path.join(cache_dir, f"run_{digest}.pkl")
+
+
+def run_one(system_name: str, workload: str,
+            settings: Optional[ExperimentSettings] = None,
+            system_label: Optional[str] = None,
+            **system_overrides) -> SimulationResult:
+    """Run (or fetch from cache) one workload on one named system.
+
+    ``system_overrides`` are forwarded to
+    :func:`repro.sim.presets.make_system_config` (e.g. ``l3_latency=25`` or
+    ``l2_cache_bytes=4*1024*1024``).
+    """
+    settings = settings or ExperimentSettings()
+    key = _cache_key(system_name, workload, settings, **system_overrides)
+    if key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    disk_path = _disk_cache_path(key)
+    if disk_path and os.path.exists(disk_path):
+        with open(disk_path, "rb") as handle:
+            result = pickle.load(handle)
+        _RESULT_CACHE[key] = result
+        return result
+
+    system_config = make_system_config(system_name, hardware_scale=settings.hardware_scale,
+                                       **system_overrides)
+    if system_label:
+        system_config.label = system_label
+    workload_config = make_workload_config(workload, max_refs=settings.max_refs,
+                                           seed=settings.seed)
+    simulator = Simulator.from_configs(system_config, workload_config,
+                                       warmup_fraction=settings.warmup_fraction)
+    result = simulator.run()
+    _RESULT_CACHE[key] = result
+    if disk_path:
+        with open(disk_path, "wb") as handle:
+            pickle.dump(result, handle)
+    return result
+
+
+def run_matrix(system_names: Sequence[str],
+               settings: Optional[ExperimentSettings] = None,
+               workloads: Optional[Iterable[str]] = None,
+               **system_overrides) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (workload, system) pair; returns ``{workload: {system: result}}``."""
+    settings = settings or ExperimentSettings()
+    workloads = tuple(workloads) if workloads is not None else settings.workloads
+    matrix: Dict[str, Dict[str, SimulationResult]] = {}
+    for workload in workloads:
+        matrix[workload] = {}
+        for system_name in system_names:
+            matrix[workload][system_name] = run_one(system_name, workload, settings,
+                                                    **system_overrides)
+    return matrix

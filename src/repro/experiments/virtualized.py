@@ -1,0 +1,132 @@
+"""Virtualized-execution evaluation (Section 9.3): Figures 27, 28 and 29."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.metrics import arithmetic_mean, geometric_mean, percent_reduction
+from repro.experiments.runner import ExperimentSettings, FigureResult, run_matrix
+
+VIRT_SYSTEMS = ("virt_pom_tlb", "ideal_shadow", "virt_victima")
+VIRT_LABELS = {
+    "virt_pom_tlb": "POM-TLB",
+    "ideal_shadow": "Ideal Shadow Paging",
+    "virt_victima": "Victima",
+}
+
+
+def _virt_matrix(settings: ExperimentSettings):
+    return run_matrix(("nested_paging",) + VIRT_SYSTEMS, settings)
+
+
+def fig27_virt_speedup(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+    """Figure 27: speedup over nested paging in virtualized execution."""
+    settings = settings or ExperimentSettings()
+    matrix = _virt_matrix(settings)
+    rows = []
+    speedups: Dict[str, list] = {system: [] for system in VIRT_SYSTEMS}
+    for workload in settings.workloads:
+        baseline = matrix[workload]["nested_paging"].cycles
+        row = [workload]
+        for system in VIRT_SYSTEMS:
+            speedup = baseline / matrix[workload][system].cycles
+            speedups[system].append(speedup)
+            row.append(round(speedup, 3))
+        rows.append(row)
+    gmeans = {system: geometric_mean(speedups[system]) for system in VIRT_SYSTEMS}
+    rows.append(["GMEAN"] + [round(gmeans[s], 3) for s in VIRT_SYSTEMS])
+    return FigureResult(
+        experiment_id="Figure 27",
+        title="Virtualized execution: speedup over Nested Paging",
+        headers=["workload"] + [VIRT_LABELS[s] for s in VIRT_SYSTEMS],
+        rows=rows,
+        paper_expectation={"Victima GMEAN speedup over NP": 1.287,
+                           "Victima vs Ideal Shadow Paging (x)": 1.049,
+                           "Victima vs POM-TLB (x)": 1.201},
+        measured={"Victima GMEAN speedup over NP": round(gmeans["virt_victima"], 3),
+                  "Victima vs Ideal Shadow Paging (x)": round(
+                      gmeans["virt_victima"] / gmeans["ideal_shadow"], 3),
+                  "Victima vs POM-TLB (x)": round(
+                      gmeans["virt_victima"] / gmeans["virt_pom_tlb"], 3)},
+        notes="Key shape: Victima > Ideal Shadow Paging > POM-TLB > Nested Paging, "
+              "with much larger gains than in native execution.",
+    )
+
+
+def fig28_virt_ptw_reduction(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+    """Figure 28: reduction in guest and host PTWs over nested paging."""
+    settings = settings or ExperimentSettings()
+    matrix = _virt_matrix(settings)
+    systems = ("virt_pom_tlb", "virt_victima")
+    rows = []
+    guest_red = {system: [] for system in systems}
+    host_red = {system: [] for system in systems}
+    for workload in settings.workloads:
+        baseline = matrix[workload]["nested_paging"]
+        row = [workload]
+        for system in systems:
+            result = matrix[workload][system]
+            guest = percent_reduction(baseline.page_walks, result.page_walks)
+            host = percent_reduction(baseline.host_page_walks, result.host_page_walks)
+            guest_red[system].append(guest)
+            host_red[system].append(host)
+            row.extend([round(guest, 1), round(host, 1)])
+        rows.append(row)
+    rows.append(["MEAN"] + [
+        value for system in systems
+        for value in (round(arithmetic_mean(guest_red[system]), 1),
+                      round(arithmetic_mean(host_red[system]), 1))])
+    return FigureResult(
+        experiment_id="Figure 28",
+        title="Reduction in guest and host PTWs over Nested Paging",
+        headers=["workload", "POM-TLB guest (%)", "POM-TLB host (%)",
+                 "Victima guest (%)", "Victima host (%)"],
+        rows=rows,
+        paper_expectation={"Victima guest PTW reduction (%)": 50,
+                           "Victima host PTW reduction (%)": 99},
+        measured={"Victima guest PTW reduction (%)": round(
+                      arithmetic_mean(guest_red["virt_victima"]), 1),
+                  "Victima host PTW reduction (%)": round(
+                      arithmetic_mean(host_red["virt_victima"]), 1)},
+        notes="Nested TLB blocks nearly eliminate host walks; conventional TLB "
+              "blocks cut guest walks roughly in half.",
+    )
+
+
+def fig29_virt_miss_latency(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+    """Figure 29: L2 TLB miss latency normalised to nested paging, host/guest split."""
+    settings = settings or ExperimentSettings()
+    matrix = _virt_matrix(settings)
+    rows = []
+    norm_means: Dict[str, list] = {system: [] for system in VIRT_SYSTEMS}
+    for workload in settings.workloads:
+        baseline = matrix[workload]["nested_paging"]
+        base_latency = baseline.l2_tlb_miss_latency_mean or 1.0
+        row = [workload]
+        for system in VIRT_SYSTEMS:
+            result = matrix[workload][system]
+            norm = result.l2_tlb_miss_latency_mean / base_latency
+            norm_means[system].append(norm)
+            breakdown = result.miss_latency_breakdown
+            total = sum(breakdown.values()) or 1
+            host_share = breakdown.get("host", 0) / total
+            row.extend([round(norm, 3), round(100 * host_share, 1)])
+        rows.append(row)
+    means = {system: arithmetic_mean(norm_means[system]) for system in VIRT_SYSTEMS}
+    rows.append(["MEAN"] + [value for system in VIRT_SYSTEMS
+                            for value in (round(means[system], 3), "")])
+    return FigureResult(
+        experiment_id="Figure 29",
+        title="L2 TLB miss latency normalised to Nested Paging (host/guest split)",
+        headers=["workload",
+                 "POM-TLB (norm.)", "POM-TLB host share (%)",
+                 "I-SP (norm.)", "I-SP host share (%)",
+                 "Victima (norm.)", "Victima host share (%)"],
+        rows=rows,
+        paper_expectation={"Victima guest-latency reduction (%)": 60,
+                           "Victima host latency vs NP (%)": 1},
+        measured={"Victima normalised miss latency": round(means["virt_victima"], 3),
+                  "I-SP normalised miss latency": round(means["ideal_shadow"], 3)},
+        notes="Victima should reduce the miss latency at least as much as ideal "
+              "shadow paging while nearly eliminating the host component.",
+    )

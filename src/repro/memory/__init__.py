@@ -1,0 +1,16 @@
+"""Memory substrate: physical frames, DRAM timing, page tables and the VM manager."""
+
+from repro.memory.dram import DramModel
+from repro.memory.page_table import PageTableEntry, RadixPageTable, WalkStep, WalkPath
+from repro.memory.page_allocator import VirtualMemoryManager
+from repro.memory.physical import PhysicalMemory
+
+__all__ = [
+    "DramModel",
+    "PageTableEntry",
+    "RadixPageTable",
+    "WalkStep",
+    "WalkPath",
+    "VirtualMemoryManager",
+    "PhysicalMemory",
+]

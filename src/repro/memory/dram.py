@@ -1,0 +1,66 @@
+"""Analytical DRAM timing model.
+
+The paper's baseline (Table 3) does not spell out DRAM timings, but its measured
+average PTW latency of ~137 cycles with a 35-cycle LLC implies a main-memory
+round trip somewhere in the 130-170 cycle range.  We model DRAM as a set of
+banks with open-row policy: a row-buffer hit is cheaper than a row-buffer miss,
+and a simple per-bank interleaving on block address spreads accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DramConfig:
+    """Timing and geometry parameters of the DRAM model."""
+
+    row_hit_latency: int = 110
+    row_miss_latency: int = 170
+    row_size_bytes: int = 8 * 1024
+    num_banks: int = 16
+    channel_interleave_bits: int = 6  # interleave consecutive blocks across banks
+
+
+@dataclass
+class DramStats:
+    accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DramModel:
+    """Open-row DRAM latency model."""
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        self.stats = DramStats()
+        self._open_rows: Dict[int, int] = {}
+
+    def access(self, paddr: int, write: bool = False) -> int:
+        """Access ``paddr`` and return the access latency in cycles."""
+        cfg = self.config
+        bank = (paddr >> cfg.channel_interleave_bits) % cfg.num_banks
+        row = paddr // cfg.row_size_bytes
+        self.stats.accesses += 1
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if self._open_rows.get(bank) == row:
+            self.stats.row_hits += 1
+            return cfg.row_hit_latency
+        self.stats.row_misses += 1
+        self._open_rows[bank] = row
+        return cfg.row_miss_latency
+
+    def reset_stats(self) -> None:
+        self.stats = DramStats()

@@ -1,0 +1,137 @@
+"""Demand paging and transparent-huge-page policy.
+
+The paper's workloads run under Linux with Transparent Huge Pages enabled, so
+their address spaces are a mix of 4 KB and 2 MB mappings (Table 3 / Section 8:
+"We extract the page size information for each workload from a real system
+that uses Transparent Huge Pages").  We reproduce that with a deterministic
+THP policy: each naturally aligned 2 MB virtual region is promoted to a huge
+page with a workload-specific probability, decided by a hash of the region
+number so every run of the same workload sees the same page-size layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addresses import PAGE_SIZE_2M, PageSize, page_number
+from repro.memory.page_table import PageTableEntry, RadixPageTable
+from repro.memory.physical import PhysicalMemory
+
+#: Knuth multiplicative hash constant used for the deterministic THP decision.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MODULUS = 1 << 32
+
+
+@dataclass
+class VMStats:
+    """Bookkeeping for one address space."""
+
+    pages_4k: int = 0
+    pages_2m: int = 0
+    demand_faults: int = 0
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.pages_4k * 4096 + self.pages_2m * PAGE_SIZE_2M
+
+
+class VirtualMemoryManager:
+    """Demand-pages an address space into a :class:`RadixPageTable`.
+
+    Parameters
+    ----------
+    physical:
+        The physical frame allocator to draw frames from.
+    asid:
+        Address-space identifier of the owning process.
+    huge_page_fraction:
+        Probability that a 2 MB-aligned virtual region is backed by a huge
+        page rather than 4 KB pages.  The decision is a deterministic function
+        of the region number, so the layout is stable across runs.
+    page_table:
+        Optionally, an existing page table to populate (used by the nested
+        paging setup, where the "physical" space of the guest is itself an
+        address space demand-paged in the host).
+    """
+
+    def __init__(
+        self,
+        physical: PhysicalMemory,
+        asid: int = 0,
+        huge_page_fraction: float = 0.3,
+        page_table: RadixPageTable | None = None,
+    ):
+        if not 0.0 <= huge_page_fraction <= 1.0:
+            raise ValueError("huge_page_fraction must be in [0, 1]")
+        self.physical = physical
+        self.asid = asid
+        self.huge_page_fraction = huge_page_fraction
+        self.page_table = page_table or RadixPageTable(physical, asid=asid)
+        self.stats = VMStats()
+
+    # ------------------------------------------------------------------ #
+    # THP policy
+    # ------------------------------------------------------------------ #
+    def _region_is_huge(self, vaddr: int) -> bool:
+        if self.huge_page_fraction <= 0.0:
+            return False
+        if self.huge_page_fraction >= 1.0:
+            return True
+        region = page_number(vaddr, PageSize.SIZE_2M)
+        mixed = (region * _HASH_MULTIPLIER + self.asid * 0x9E3779B9) % _HASH_MODULUS
+        return (mixed / _HASH_MODULUS) < self.huge_page_fraction
+
+    # ------------------------------------------------------------------ #
+    # Demand paging
+    # ------------------------------------------------------------------ #
+    def ensure_mapped(self, vaddr: int) -> PageTableEntry:
+        """Return the PTE covering ``vaddr``, demand-allocating it if needed."""
+        if self.page_table.is_mapped(vaddr):
+            return self.page_table.translate(vaddr)
+        self.stats.demand_faults += 1
+        if self._region_is_huge(vaddr):
+            page_size = PageSize.SIZE_2M
+            self.stats.pages_2m += 1
+        else:
+            page_size = PageSize.SIZE_4K
+            self.stats.pages_4k += 1
+        vpn = page_number(vaddr, page_size)
+        frame = self.physical.allocate_frame(page_size)
+        pfn = frame >> page_size.offset_bits
+        return self.page_table.map_page(vpn, pfn, page_size)
+
+    def translate(self, vaddr: int) -> int:
+        """Functional virtual-to-physical translation with demand paging."""
+        return self.ensure_mapped(vaddr).translate(vaddr)
+
+    def prefault_range(self, start_vaddr: int, size_bytes: int) -> int:
+        """Eagerly map a virtual range; returns the number of pages mapped.
+
+        Workload generators use this to model allocation-time population of
+        data structures whose first touch we do not want to bill as a page
+        fault during the measured region.
+        """
+        mapped = 0
+        vaddr = start_vaddr
+        end = start_vaddr + size_bytes
+        while vaddr < end:
+            pte = self.ensure_mapped(vaddr)
+            vaddr = ((pte.vpn + 1) << pte.page_size.offset_bits)
+            mapped += 1
+        return mapped
+
+    def unmap(self, vaddr: int) -> PageTableEntry | None:
+        """Unmap the page containing ``vaddr`` and release its frame."""
+        pte = self.page_table.unmap_page(vaddr)
+        if pte is None:
+            return None
+        self.physical.free_frame(pte.pfn << pte.page_size.offset_bits, pte.page_size)
+        if pte.page_size is PageSize.SIZE_2M:
+            self.stats.pages_2m -= 1
+        else:
+            self.stats.pages_4k -= 1
+        return pte
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.stats.footprint_bytes

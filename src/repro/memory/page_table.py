@@ -1,0 +1,347 @@
+"""Four-level radix page table, materialised in simulated physical memory.
+
+The page table is the central substrate of the reproduction: every page-table
+walk issued by the hardware walker turns into memory accesses at the *physical
+addresses of the page-table entries*, which then travel through the simulated
+cache hierarchy exactly as in the paper's Sniper-based setup.  Victima's block
+transformation also needs to know which 64-byte cache block holds the cluster
+of eight leaf PTEs for a virtual page, which this module exposes via
+:meth:`RadixPageTable.pte_cluster`.
+
+Level numbering follows the walk order of Figure 1: level 0 is the PML4 root,
+level 3 is the leaf PT.  2 MB pages terminate the walk at level 2 (the PD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.addresses import (
+    ENTRIES_PER_NODE,
+    PTE_SIZE,
+    PTES_PER_CACHE_BLOCK,
+    PageSize,
+    radix_indices,
+)
+from repro.common.counters import SaturatingCounter
+from repro.common.errors import TranslationFault
+from repro.memory.physical import PhysicalMemory
+
+#: Leaf level for 4 KB pages (the PT level).
+LEAF_LEVEL_4K = 3
+#: Leaf level for 2 MB pages (the PD level).
+LEAF_LEVEL_2M = 2
+
+
+@dataclass
+class PTEFeatures:
+    """Per-page feature counters from Table 1 of the paper.
+
+    These are the ten features the PTW cost predictor study considers.  The
+    two that the final comparator-based PTW-CP uses (PTW frequency and PTW
+    cost) are saturating counters stored in the unused PTE bits; the remaining
+    ones are gathered for the offline feature-selection study (Table 2).
+    """
+
+    page_size_is_2m: bool = False
+    ptw_frequency: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(3))
+    ptw_cost: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(4))
+    pwc_hits: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(5))
+    l1_tlb_misses: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(5))
+    l2_tlb_misses: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(5))
+    l2_cache_hits: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(5))
+    l1_tlb_evictions: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(5))
+    l2_tlb_evictions: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(6))
+    accesses: SaturatingCounter = field(default_factory=lambda: SaturatingCounter(6))
+
+    def as_vector(self) -> List[int]:
+        """Return the ten features as a plain list (for the predictor study)."""
+        return [
+            int(self.page_size_is_2m),
+            int(self.ptw_frequency),
+            int(self.ptw_cost),
+            int(self.pwc_hits),
+            int(self.l1_tlb_misses),
+            int(self.l2_tlb_misses),
+            int(self.l2_cache_hits),
+            int(self.l1_tlb_evictions),
+            int(self.l2_tlb_evictions),
+            int(self.accesses),
+        ]
+
+
+#: Feature names in the order produced by :meth:`PTEFeatures.as_vector`.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "page_size",
+    "ptw_frequency",
+    "ptw_cost",
+    "pwc_hits",
+    "l1_tlb_misses",
+    "l2_tlb_misses",
+    "l2_cache_hits",
+    "l1_tlb_evictions",
+    "l2_tlb_evictions",
+    "accesses",
+)
+
+
+class PageTableEntry:
+    """A leaf page-table entry (a virtual-to-physical mapping).
+
+    Besides the mapping itself the entry carries the metadata counters the
+    PTW cost predictor reads (Section 5.2) and bookkeeping that lets Victima
+    find the cache block holding this entry's PTE cluster.
+    """
+
+    __slots__ = ("vpn", "pfn", "page_size", "asid", "entry_paddr", "features",
+                 "total_ptw_cycles", "valid")
+
+    def __init__(self, vpn: int, pfn: int, page_size: PageSize, asid: int, entry_paddr: int):
+        self.vpn = vpn
+        self.pfn = pfn
+        self.page_size = page_size
+        self.asid = asid
+        #: Physical address of this 8-byte entry inside its page-table node.
+        self.entry_paddr = entry_paddr
+        self.features = PTEFeatures(page_size_is_2m=(page_size is PageSize.SIZE_2M))
+        #: Total cycles spent walking to this entry (label source for Table 2).
+        self.total_ptw_cycles = 0
+        self.valid = True
+
+    # Convenience accessors used by the predictor and the MMU ----------------
+    @property
+    def ptw_frequency(self) -> int:
+        return int(self.features.ptw_frequency)
+
+    @property
+    def ptw_cost(self) -> int:
+        return int(self.features.ptw_cost)
+
+    def record_walk(self, cycles: int, dram_accesses: int, pwc_hits: int) -> None:
+        """Update the PTE metadata after a page-table walk that fetched it."""
+        self.features.ptw_frequency.increment()
+        if dram_accesses > 0:
+            self.features.ptw_cost.increment(dram_accesses)
+        if pwc_hits > 0:
+            self.features.pwc_hits.increment(pwc_hits)
+        self.total_ptw_cycles += cycles
+
+    def translate(self, vaddr: int) -> int:
+        """Translate ``vaddr`` (which must lie in this page) to a physical address."""
+        offset = vaddr & (int(self.page_size) - 1)
+        return (self.pfn << self.page_size.offset_bits) | offset
+
+    @property
+    def cluster_base_vpn(self) -> int:
+        """Base VPN of the 8-page cluster this entry's cache block covers."""
+        return self.vpn & ~(PTES_PER_CACHE_BLOCK - 1)
+
+    @property
+    def cluster_block_paddr(self) -> int:
+        """Physical address of the 64-byte block containing this PTE's cluster."""
+        return self.entry_paddr & ~(PTES_PER_CACHE_BLOCK * PTE_SIZE - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PTE(vpn=0x{self.vpn:x}, pfn=0x{self.pfn:x}, "
+            f"size={self.page_size.label}, asid={self.asid})"
+        )
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One memory access of a page-table walk."""
+
+    level: int
+    node_paddr: int
+    entry_paddr: int
+
+
+@dataclass
+class WalkPath:
+    """The full sequence of accesses needed to walk to a leaf PTE."""
+
+    steps: List[WalkStep]
+    pte: PageTableEntry
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.steps)
+
+
+class _PageTableNode:
+    """An internal radix node occupying one 4 KB physical frame."""
+
+    __slots__ = ("level", "frame_paddr", "children", "leaves")
+
+    def __init__(self, level: int, frame_paddr: int):
+        self.level = level
+        self.frame_paddr = frame_paddr
+        self.children: Dict[int, "_PageTableNode"] = {}
+        self.leaves: Dict[int, PageTableEntry] = {}
+
+    def entry_paddr(self, index: int) -> int:
+        return self.frame_paddr + index * PTE_SIZE
+
+
+class RadixPageTable:
+    """An x86-64-style four-level radix page table for one address space."""
+
+    def __init__(self, physical_memory: PhysicalMemory, asid: int = 0):
+        self.physical = physical_memory
+        self.asid = asid
+        self._root = self._new_node(level=0)
+        self.num_nodes = 1
+        self.num_leaf_entries = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _new_node(self, level: int) -> _PageTableNode:
+        frame = self.physical.allocate_frame(PageSize.SIZE_4K)
+        return _PageTableNode(level, frame)
+
+    @property
+    def root_paddr(self) -> int:
+        """Physical address of the PML4 (the CR3 value)."""
+        return self._root.frame_paddr
+
+    def map_page(self, vpn: int, pfn: int, page_size: PageSize = PageSize.SIZE_4K) -> PageTableEntry:
+        """Install a mapping for virtual page ``vpn`` → physical frame ``pfn``.
+
+        Intermediate nodes are created on demand.  Returns the new leaf entry.
+        Mapping an already-mapped page replaces the previous entry (the old
+        entry is invalidated), which is what happens on a remap in a real OS.
+        """
+        vaddr = vpn << page_size.offset_bits
+        pml4_i, pdpt_i, pd_i, pt_i = radix_indices(vaddr)
+        leaf_level = LEAF_LEVEL_2M if page_size is PageSize.SIZE_2M else LEAF_LEVEL_4K
+        indices = (pml4_i, pdpt_i, pd_i, pt_i)
+
+        node = self._root
+        for level in range(leaf_level):
+            index = indices[level]
+            child = node.children.get(index)
+            if child is None:
+                child = self._new_node(level + 1)
+                node.children[index] = child
+                self.num_nodes += 1
+            node = child
+
+        leaf_index = indices[leaf_level]
+        old = node.leaves.get(leaf_index)
+        if old is not None:
+            old.valid = False
+        else:
+            self.num_leaf_entries += 1
+        pte = PageTableEntry(
+            vpn=vpn,
+            pfn=pfn,
+            page_size=page_size,
+            asid=self.asid,
+            entry_paddr=node.entry_paddr(leaf_index),
+        )
+        node.leaves[leaf_index] = pte
+        return pte
+
+    def unmap_page(self, vaddr: int) -> Optional[PageTableEntry]:
+        """Remove the mapping covering ``vaddr``; returns the removed entry."""
+        found = self._find(vaddr)
+        if found is None:
+            return None
+        node, leaf_index, pte = found
+        del node.leaves[leaf_index]
+        pte.valid = False
+        self.num_leaf_entries -= 1
+        return pte
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def _find(self, vaddr: int) -> Optional[Tuple[_PageTableNode, int, PageTableEntry]]:
+        indices = radix_indices(vaddr)
+        node = self._root
+        for level in range(LEAF_LEVEL_4K + 1):
+            index = indices[level]
+            leaf = node.leaves.get(index)
+            if leaf is not None:
+                return node, index, leaf
+            child = node.children.get(index)
+            if child is None:
+                return None
+            node = child
+        return None
+
+    def translate(self, vaddr: int) -> PageTableEntry:
+        """Functional translation (no timing).  Raises on unmapped addresses."""
+        found = self._find(vaddr)
+        if found is None:
+            raise TranslationFault(vaddr, self.asid)
+        return found[2]
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return self._find(vaddr) is not None
+
+    def walk(self, vaddr: int) -> WalkPath:
+        """Return the sequence of entry accesses a hardware walker performs.
+
+        For a 4 KB page this is four steps (PML4 → PDPT → PD → PT); for a 2 MB
+        page it is three.  Raises :class:`TranslationFault` if unmapped.
+        """
+        indices = radix_indices(vaddr)
+        steps: List[WalkStep] = []
+        node = self._root
+        for level in range(LEAF_LEVEL_4K + 1):
+            index = indices[level]
+            entry_paddr = node.entry_paddr(index)
+            steps.append(WalkStep(level=level, node_paddr=node.frame_paddr, entry_paddr=entry_paddr))
+            leaf = node.leaves.get(index)
+            if leaf is not None:
+                return WalkPath(steps=steps, pte=leaf)
+            child = node.children.get(index)
+            if child is None:
+                raise TranslationFault(vaddr, self.asid)
+            node = child
+        raise TranslationFault(vaddr, self.asid)
+
+    def pte_cluster(self, pte: PageTableEntry) -> List[Optional[PageTableEntry]]:
+        """Return the eight PTEs sharing ``pte``'s 64-byte page-table block.
+
+        This is the cluster Victima turns into a TLB block: eight leaf entries
+        for eight contiguous virtual pages.  Unmapped slots are ``None``.
+        """
+        base_vpn = pte.cluster_base_vpn
+        cluster: List[Optional[PageTableEntry]] = []
+        for i in range(PTES_PER_CACHE_BLOCK):
+            vaddr = (base_vpn + i) << pte.page_size.offset_bits
+            found = self._find(vaddr)
+            if found is None or found[2].page_size is not pte.page_size:
+                cluster.append(None)
+            else:
+                cluster.append(found[2])
+        return cluster
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def all_entries(self) -> List[PageTableEntry]:
+        """Return every valid leaf entry (used by the Table 2 dataset builder)."""
+        entries: List[PageTableEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            entries.extend(node.leaves.values())
+            stack.extend(node.children.values())
+        return entries
+
+    @property
+    def size_bytes(self) -> int:
+        """Total physical memory consumed by page-table nodes."""
+        return self.num_nodes * 4096
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RadixPageTable(asid={self.asid}, nodes={self.num_nodes}, "
+            f"entries={self.num_leaf_entries})"
+        )

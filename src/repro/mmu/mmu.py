@@ -1,0 +1,282 @@
+"""The memory management unit: the full address-translation flow.
+
+This is the native-execution MMU of Figure 2 (and Figure 17 when Victima is
+attached): a two-level TLB hierarchy, a hardware page-table walker with split
+page-walk caches, and optionally one of the evaluated back-ends behind the L2
+TLB:
+
+* nothing (the Radix baseline),
+* a large hardware L3 TLB (the "Opt. L3 TLB" configurations),
+* a POM-TLB, i.e. a large software-managed TLB resident in memory,
+* Victima, which probes the L2 cache for TLB blocks in parallel with the walk.
+
+The virtualized MMU (nested paging, Figure 3 / 19) lives in
+:mod:`repro.virt.nested_mmu` and reuses the same components.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.addresses import PageSize
+from repro.common.pressure import PressureMonitor
+from repro.memory.page_allocator import VirtualMemoryManager
+from repro.memory.page_table import PageTableEntry
+from repro.mmu.page_walker import PageTableWalker
+from repro.mmu.tlb import TLB, TLBEntry
+
+
+class ServedBy(enum.Enum):
+    """Which structure resolved a translation."""
+
+    L1_TLB = "l1_tlb"
+    L2_TLB = "l2_tlb"
+    L3_TLB = "l3_tlb"
+    POM_TLB = "pom_tlb"
+    VICTIMA_BLOCK = "victima_block"
+    PAGE_WALK = "page_walk"
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of translating one virtual address."""
+
+    vaddr: int
+    paddr: int
+    pte: PageTableEntry
+    latency: int
+    served_by: ServedBy
+    l1_tlb_miss: bool
+    l2_tlb_miss: bool
+    page_walk: bool
+    #: Latency accumulated after the L2 TLB miss (the paper's "L2 TLB miss latency").
+    miss_latency: int = 0
+    #: Breakdown of ``miss_latency`` by component ("walk", "stlb", "l2_cache", "l3_tlb").
+    miss_breakdown: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class MMUStats:
+    """Aggregate MMU statistics."""
+
+    translations: int = 0
+    l1_tlb_hits: int = 0
+    l2_tlb_hits: int = 0
+    l2_tlb_misses: int = 0
+    l3_tlb_hits: int = 0
+    pom_tlb_hits: int = 0
+    victima_hits: int = 0
+    page_walks: int = 0
+    l1_tlb_evictions: int = 0
+    l2_tlb_evictions: int = 0
+    total_translation_latency: int = 0
+    total_miss_latency: int = 0
+    miss_latency_breakdown: Dict[str, int] = field(default_factory=dict)
+    served_by: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: TranslationResult) -> None:
+        self.translations += 1
+        self.total_translation_latency += result.latency
+        self.served_by[result.served_by.value] = self.served_by.get(result.served_by.value, 0) + 1
+        if not result.l1_tlb_miss:
+            self.l1_tlb_hits += 1
+        if result.l2_tlb_miss:
+            self.l2_tlb_misses += 1
+            self.total_miss_latency += result.miss_latency
+            for component, cycles in result.miss_breakdown.items():
+                self.miss_latency_breakdown[component] = (
+                    self.miss_latency_breakdown.get(component, 0) + cycles)
+        elif result.l1_tlb_miss:
+            self.l2_tlb_hits += 1
+        if result.page_walk:
+            self.page_walks += 1
+        if result.served_by is ServedBy.VICTIMA_BLOCK:
+            self.victima_hits += 1
+        elif result.served_by is ServedBy.POM_TLB:
+            self.pom_tlb_hits += 1
+        elif result.served_by is ServedBy.L3_TLB:
+            self.l3_tlb_hits += 1
+
+    @property
+    def l2_tlb_mpki(self) -> float:  # convenience for reports; MPKI proper
+        return 0.0                   # is computed by the simulator with the
+                                     # retired-instruction count.
+
+    @property
+    def mean_miss_latency(self) -> float:
+        return self.total_miss_latency / self.l2_tlb_misses if self.l2_tlb_misses else 0.0
+
+    @property
+    def mean_translation_latency(self) -> float:
+        return self.total_translation_latency / self.translations if self.translations else 0.0
+
+
+class MMU:
+    """Two-level TLB hierarchy + page-table walker + optional back-end."""
+
+    def __init__(
+        self,
+        l1_itlb: TLB,
+        l1_dtlb_4k: TLB,
+        l1_dtlb_2m: TLB,
+        l2_tlb: TLB,
+        walker: PageTableWalker,
+        memory_manager: VirtualMemoryManager,
+        pressure: PressureMonitor,
+        l3_tlb: Optional[TLB] = None,
+        pom_tlb=None,
+        victima=None,
+        asid: int = 0,
+    ):
+        self.l1_itlb = l1_itlb
+        self.l1_dtlb_4k = l1_dtlb_4k
+        self.l1_dtlb_2m = l1_dtlb_2m
+        self.l2_tlb = l2_tlb
+        self.walker = walker
+        self.memory_manager = memory_manager
+        self.page_table = memory_manager.page_table
+        self.pressure = pressure
+        self.l3_tlb = l3_tlb
+        self.pom_tlb = pom_tlb
+        self.victima = victima
+        self.asid = asid
+        self.stats = MMUStats()
+
+    # ------------------------------------------------------------------ #
+    # Translation flow
+    # ------------------------------------------------------------------ #
+    def translate(self, vaddr: int, is_instruction: bool = False,
+                  asid: Optional[int] = None) -> TranslationResult:
+        """Translate ``vaddr``, modelling the full latency of the lookup path."""
+        asid = self.asid if asid is None else asid
+        # Demand paging happens outside the timed path (a real OS would have
+        # populated the mapping on first touch before the measured region).
+        pte = self.memory_manager.ensure_mapped(vaddr)
+        pte.features.accesses.increment()
+
+        # -- L1 TLBs (1 cycle) ------------------------------------------- #
+        l1_hit_entry = self._l1_lookup(vaddr, asid, is_instruction)
+        latency = self._l1_latency(is_instruction)
+        if l1_hit_entry is not None:
+            result = TranslationResult(
+                vaddr=vaddr, paddr=l1_hit_entry.translate(vaddr), pte=l1_hit_entry.pte,
+                latency=latency, served_by=ServedBy.L1_TLB,
+                l1_tlb_miss=False, l2_tlb_miss=False, page_walk=False)
+            self.stats.record(result)
+            return result
+        pte.features.l1_tlb_misses.increment()
+
+        # -- L2 TLB (12 cycles) ------------------------------------------- #
+        latency += self.l2_tlb.latency
+        l2_entry = self.l2_tlb.lookup(vaddr, asid)
+        if l2_entry is not None:
+            self._fill_l1(l2_entry.pte, asid, is_instruction)
+            result = TranslationResult(
+                vaddr=vaddr, paddr=l2_entry.translate(vaddr), pte=l2_entry.pte,
+                latency=latency, served_by=ServedBy.L2_TLB,
+                l1_tlb_miss=True, l2_tlb_miss=False, page_walk=False)
+            self.stats.record(result)
+            return result
+
+        # -- L2 TLB miss --------------------------------------------------- #
+        self.pressure.record_l2_tlb_miss()
+        pte.features.l2_tlb_misses.increment()
+        served_by, resolved_pte, miss_latency, breakdown, walked = self._resolve_miss(vaddr, asid)
+        latency += miss_latency
+
+        self._fill_l2(resolved_pte, asid)
+        self._fill_l1(resolved_pte, asid, is_instruction)
+
+        result = TranslationResult(
+            vaddr=vaddr, paddr=resolved_pte.translate(vaddr), pte=resolved_pte,
+            latency=latency, served_by=served_by,
+            l1_tlb_miss=True, l2_tlb_miss=True, page_walk=walked,
+            miss_latency=miss_latency, miss_breakdown=breakdown)
+        self.stats.record(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Miss resolution (one of the evaluated back-ends)
+    # ------------------------------------------------------------------ #
+    def _resolve_miss(self, vaddr: int, asid: int):
+        breakdown: Dict[str, int] = {}
+
+        if self.victima is not None:
+            # Probe the L2 cache for a TLB block in parallel with starting the
+            # walk (Figure 17).  On a hit the walk is aborted; on a miss the
+            # probe is fully overlapped with the walk, so only the walk's
+            # latency appears on the critical path.
+            block_pte, probe_latency = self.victima.probe(vaddr, asid)
+            if block_pte is not None:
+                breakdown["l2_cache"] = probe_latency
+                return ServedBy.VICTIMA_BLOCK, block_pte, probe_latency, breakdown, False
+            walk = self.walker.walk(self.page_table, vaddr)
+            breakdown["walk"] = walk.latency
+            self.victima.on_l2_tlb_miss(walk.pte)
+            return ServedBy.PAGE_WALK, walk.pte, walk.latency, breakdown, True
+
+        if self.l3_tlb is not None:
+            l3_latency = self.l3_tlb.latency
+            entry = self.l3_tlb.lookup(vaddr, asid)
+            if entry is not None:
+                breakdown["l3_tlb"] = l3_latency
+                return ServedBy.L3_TLB, entry.pte, l3_latency, breakdown, False
+            walk = self.walker.walk(self.page_table, vaddr)
+            self.l3_tlb.insert(walk.pte, asid)
+            breakdown["l3_tlb"] = l3_latency
+            breakdown["walk"] = walk.latency
+            return ServedBy.PAGE_WALK, walk.pte, l3_latency + walk.latency, breakdown, True
+
+        if self.pom_tlb is not None:
+            pom_pte, pom_latency = self.pom_tlb.lookup(vaddr, asid)
+            breakdown["stlb"] = pom_latency
+            if pom_pte is not None:
+                return ServedBy.POM_TLB, pom_pte, pom_latency, breakdown, False
+            walk = self.walker.walk(self.page_table, vaddr)
+            self.pom_tlb.insert(walk.pte, asid)
+            breakdown["walk"] = walk.latency
+            return ServedBy.PAGE_WALK, walk.pte, pom_latency + walk.latency, breakdown, True
+
+        walk = self.walker.walk(self.page_table, vaddr)
+        breakdown["walk"] = walk.latency
+        return ServedBy.PAGE_WALK, walk.pte, walk.latency, breakdown, True
+
+    # ------------------------------------------------------------------ #
+    # TLB fills
+    # ------------------------------------------------------------------ #
+    def _l1_latency(self, is_instruction: bool) -> int:
+        return self.l1_itlb.latency if is_instruction else self.l1_dtlb_4k.latency
+
+    def _l1_lookup(self, vaddr: int, asid: int, is_instruction: bool) -> Optional[TLBEntry]:
+        if is_instruction:
+            return self.l1_itlb.lookup(vaddr, asid)
+        entry = self.l1_dtlb_4k.lookup(vaddr, asid)
+        if entry is not None:
+            return entry
+        return self.l1_dtlb_2m.lookup(vaddr, asid)
+
+    def _l1_for(self, pte: PageTableEntry, is_instruction: bool) -> TLB:
+        if is_instruction:
+            return self.l1_itlb
+        if pte.page_size is PageSize.SIZE_2M:
+            return self.l1_dtlb_2m
+        return self.l1_dtlb_4k
+
+    def _fill_l1(self, pte: PageTableEntry, asid: int, is_instruction: bool) -> None:
+        target = self._l1_for(pte, is_instruction)
+        if not target.supports(pte.page_size):  # pragma: no cover - defensive
+            return
+        evicted = target.insert(pte, asid)
+        if evicted is not None:
+            self.stats.l1_tlb_evictions += 1
+            evicted.pte.features.l1_tlb_evictions.increment()
+
+    def _fill_l2(self, pte: PageTableEntry, asid: int) -> None:
+        evicted = self.l2_tlb.insert(pte, asid)
+        if evicted is not None:
+            self.stats.l2_tlb_evictions += 1
+            evicted.pte.features.l2_tlb_evictions.increment()
+            if self.victima is not None:
+                self.victima.on_l2_tlb_eviction(evicted)

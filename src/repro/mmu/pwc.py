@@ -1,0 +1,118 @@
+"""Page-walk caches (PWCs).
+
+Modern x86-64 page-table walkers keep small dedicated caches for the upper
+(non-leaf) levels of the radix page table so that most walks only need to
+access memory for the leaf PT level.  The baseline in Table 3 uses three split
+PWCs (one per non-leaf level), each 32-entry, 4-way, 2-cycle.
+
+A PWC entry for level ``i`` caches the page-table entry at level ``i`` — i.e.
+the pointer to the level ``i+1`` node — tagged by the virtual-address index
+prefix consumed up to and including level ``i``.  On a walk, the walker probes
+the PWCs from the deepest non-leaf level upward and skips every memory access
+at or above the deepest hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.addresses import radix_indices
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class PWCStats:
+    lookups: int = 0
+    hits: int = 0
+    insertions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _SplitPWC:
+    """One per-level page-walk cache (fully software LRU)."""
+
+    def __init__(self, entries: int, associativity: int):
+        if entries % associativity != 0:
+            raise ConfigurationError("PWC entries must be a multiple of associativity")
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        self._sets: List[Dict[tuple, int]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+
+    def _index(self, tag: tuple) -> int:
+        return hash(tag) % self.num_sets
+
+    def lookup(self, tag: tuple) -> bool:
+        self._clock += 1
+        pwc_set = self._sets[self._index(tag)]
+        if tag in pwc_set:
+            pwc_set[tag] = self._clock
+            return True
+        return False
+
+    def insert(self, tag: tuple) -> None:
+        self._clock += 1
+        pwc_set = self._sets[self._index(tag)]
+        if tag in pwc_set:
+            pwc_set[tag] = self._clock
+            return
+        if len(pwc_set) >= self.associativity:
+            victim = min(pwc_set, key=pwc_set.get)
+            del pwc_set[victim]
+        pwc_set[tag] = self._clock
+
+    def invalidate_all(self) -> None:
+        for pwc_set in self._sets:
+            pwc_set.clear()
+
+
+class PageWalkCaches:
+    """The set of split PWCs for the non-leaf levels of the page table."""
+
+    #: Levels covered by split PWCs (PML4 = 0, PDPT = 1, PD = 2).
+    CACHED_LEVELS = (0, 1, 2)
+
+    def __init__(self, entries_per_level: int = 32, associativity: int = 4,
+                 latency: int = 2):
+        self.latency = latency
+        self.stats = PWCStats()
+        self._pwcs = {
+            level: _SplitPWC(entries_per_level, associativity)
+            for level in self.CACHED_LEVELS
+        }
+
+    @staticmethod
+    def _tag(asid: int, vaddr: int, level: int) -> tuple:
+        indices = radix_indices(vaddr)
+        return (asid,) + indices[: level + 1]
+
+    def deepest_hit_level(self, asid: int, vaddr: int, max_level: int) -> Optional[int]:
+        """Return the deepest cached non-leaf level that hits, if any.
+
+        ``max_level`` bounds the probe to levels strictly above the leaf (for
+        2 MB pages the PD is the leaf, so only PML4/PDPT are probed).
+        """
+        for level in sorted(self._pwcs, reverse=True):
+            if level > max_level:
+                continue
+            self.stats.lookups += 1
+            if self._pwcs[level].lookup(self._tag(asid, vaddr, level)):
+                self.stats.hits += 1
+                return level
+        return None
+
+    def fill(self, asid: int, vaddr: int, levels: range) -> None:
+        """Insert the walked non-leaf levels after a completed walk."""
+        for level in levels:
+            if level in self._pwcs:
+                self._pwcs[level].insert(self._tag(asid, vaddr, level))
+                self.stats.insertions += 1
+
+    def invalidate_all(self) -> None:
+        for pwc in self._pwcs.values():
+            pwc.invalidate_all()

@@ -1,0 +1,213 @@
+"""Translation lookaside buffers.
+
+The baseline MMU (Table 3 of the paper) has:
+
+* a 128-entry 8-way L1 I-TLB (1 cycle),
+* a 64-entry 4-way L1 D-TLB for 4 KB pages (1 cycle),
+* a 32-entry 4-way L1 D-TLB for 2 MB pages (1 cycle),
+* a 1536-entry 12-way unified L2 TLB holding both page sizes (12 cycles),
+* and, in virtualized execution, a 64-entry nested TLB (1 cycle).
+
+All of them are modelled by :class:`TLB`: a set-associative structure with LRU
+replacement whose entries are tagged by ``(ASID, VPN, page size)``.  A TLB
+configured with multiple page sizes probes each size on lookup — the physical
+equivalent of the parallel probes a real unified L2 TLB performs because the
+page size of a request is not known a priori.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.addresses import PageSize, is_power_of_two, page_number
+from repro.common.errors import ConfigurationError
+from repro.memory.page_table import PageTableEntry
+
+
+@dataclass
+class TLBEntry:
+    """One cached virtual-to-physical translation."""
+
+    vpn: int
+    asid: int
+    page_size: PageSize
+    pte: PageTableEntry
+    last_touch: int = 0
+
+    def translate(self, vaddr: int) -> int:
+        return self.pte.translate(vaddr)
+
+    @property
+    def tag(self) -> Tuple[int, int, int]:
+        return (self.asid, int(self.page_size), self.vpn)
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    hits_by_page_size: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """A set-associative TLB with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        entries: int,
+        associativity: int,
+        latency: int,
+        page_sizes: Sequence[PageSize] = (PageSize.SIZE_4K,),
+    ):
+        if entries % associativity != 0:
+            raise ConfigurationError(f"{name}: entries must be a multiple of associativity")
+        self.name = name
+        self.entries = entries
+        self.associativity = associativity
+        self.latency = latency
+        self.page_sizes: Tuple[PageSize, ...] = tuple(page_sizes)
+        if not self.page_sizes:
+            raise ConfigurationError(f"{name}: at least one page size is required")
+        self.num_sets = entries // associativity
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(f"{name}: number of sets ({self.num_sets}) must be a power of two")
+        self.stats = TLBStats()
+        self._access_counter = 0
+        # set index -> list of entries (at most `associativity` long)
+        self._sets: List[List[TLBEntry]] = [[] for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def _set_index(self, vpn: int) -> int:
+        return vpn & (self.num_sets - 1)
+
+    def supports(self, page_size: PageSize) -> bool:
+        return page_size in self.page_sizes
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def lookup(self, vaddr: int, asid: int, update_lru: bool = True) -> Optional[TLBEntry]:
+        """Probe the TLB for ``vaddr``; probes every supported page size."""
+        self.stats.accesses += 1
+        self._access_counter += 1
+        for page_size in self.page_sizes:
+            vpn = page_number(vaddr, page_size)
+            entry = self._find(vpn, asid, page_size)
+            if entry is not None:
+                self.stats.hits += 1
+                label = page_size.label
+                self.stats.hits_by_page_size[label] = self.stats.hits_by_page_size.get(label, 0) + 1
+                if update_lru:
+                    entry.last_touch = self._access_counter
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def _find(self, vpn: int, asid: int, page_size: PageSize) -> Optional[TLBEntry]:
+        tlb_set = self._sets[self._set_index(vpn)]
+        tag = (asid, int(page_size), vpn)
+        for entry in tlb_set:
+            if entry.tag == tag:
+                return entry
+        return None
+
+    def contains(self, vaddr: int, asid: int) -> bool:
+        """Residency check without disturbing statistics or LRU state."""
+        for page_size in self.page_sizes:
+            vpn = page_number(vaddr, page_size)
+            if self._find(vpn, asid, page_size) is not None:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, pte: PageTableEntry, asid: Optional[int] = None) -> Optional[TLBEntry]:
+        """Insert a translation; returns the evicted entry, if any."""
+        if not self.supports(pte.page_size):
+            raise ConfigurationError(
+                f"{self.name} does not support {pte.page_size.label} pages"
+            )
+        asid = pte.asid if asid is None else asid
+        vpn = pte.vpn
+        existing = self._find(vpn, asid, pte.page_size)
+        self._access_counter += 1
+        if existing is not None:
+            existing.pte = pte
+            existing.last_touch = self._access_counter
+            return None
+        entry = TLBEntry(vpn=vpn, asid=asid, page_size=pte.page_size, pte=pte,
+                         last_touch=self._access_counter)
+        tlb_set = self._sets[self._set_index(vpn)]
+        evicted: Optional[TLBEntry] = None
+        if len(tlb_set) >= self.associativity:
+            victim_index = min(range(len(tlb_set)), key=lambda i: tlb_set[i].last_touch)
+            evicted = tlb_set.pop(victim_index)
+            self.stats.evictions += 1
+        tlb_set.append(entry)
+        self.stats.insertions += 1
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Invalidation (context switches and shootdowns, Section 6)
+    # ------------------------------------------------------------------ #
+    def invalidate_all(self) -> int:
+        removed = sum(len(s) for s in self._sets)
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats.invalidations += removed
+        return removed
+
+    def invalidate_asid(self, asid: int) -> int:
+        removed = 0
+        for tlb_set in self._sets:
+            keep = [e for e in tlb_set if e.asid != asid]
+            removed += len(tlb_set) - len(keep)
+            tlb_set[:] = keep
+        self.stats.invalidations += removed
+        return removed
+
+    def invalidate_page(self, vaddr: int, asid: int) -> int:
+        removed = 0
+        for page_size in self.page_sizes:
+            vpn = page_number(vaddr, page_size)
+            tlb_set = self._sets[self._set_index(vpn)]
+            tag = (asid, int(page_size), vpn)
+            keep = [e for e in tlb_set if e.tag != tag]
+            removed += len(tlb_set) - len(keep)
+            tlb_set[:] = keep
+        self.stats.invalidations += removed
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_entries(self) -> Iterable[TLBEntry]:
+        for tlb_set in self._sets:
+            yield from tlb_set
+
+    def reach_bytes(self) -> int:
+        """Amount of memory covered by the currently resident entries."""
+        return sum(int(entry.page_size) for entry in self.resident_entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "/".join(ps.label for ps in self.page_sizes)
+        return f"TLB({self.name}, {self.entries} entries, {self.associativity}-way, {sizes})"

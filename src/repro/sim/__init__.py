@@ -1,0 +1,39 @@
+"""Simulation: configuration, the system factory, the simulator loop and results."""
+
+from repro.sim.config import (
+    CacheConfig,
+    DramTimingConfig,
+    MMUConfig,
+    SimulationConfig,
+    SystemConfig,
+    SystemKind,
+    TLBConfig,
+    VictimaConfig,
+)
+from repro.sim.presets import (
+    EVALUATED_NATIVE_SYSTEMS,
+    EVALUATED_VIRTUAL_SYSTEMS,
+    make_system_config,
+    make_workload_config,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import System, build_system
+
+__all__ = [
+    "CacheConfig",
+    "DramTimingConfig",
+    "MMUConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "SystemKind",
+    "TLBConfig",
+    "VictimaConfig",
+    "EVALUATED_NATIVE_SYSTEMS",
+    "EVALUATED_VIRTUAL_SYSTEMS",
+    "make_system_config",
+    "make_workload_config",
+    "SimulationResult",
+    "Simulator",
+    "System",
+    "build_system",
+]

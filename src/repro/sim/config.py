@@ -1,0 +1,184 @@
+"""Configuration dataclasses for the simulated systems.
+
+Defaults follow Table 3 of the paper (the baseline system).  Every evaluated
+system is expressed as a :class:`SystemConfig` whose :class:`SystemKind` picks
+the translation back-end; :mod:`repro.sim.presets` provides ready-made configs
+for each system the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.common.addresses import PageSize
+from repro.common.errors import ConfigurationError
+
+
+class SystemKind(enum.Enum):
+    """The translation mechanisms evaluated in the paper."""
+
+    # Native execution (Section 9.1)
+    RADIX = "radix"
+    LARGE_L2_TLB = "large_l2_tlb"
+    L3_TLB = "l3_tlb"
+    POM_TLB = "pom_tlb"
+    VICTIMA = "victima"
+    # Virtualized execution (Section 9.3)
+    NESTED_PAGING = "nested_paging"
+    VIRT_POM_TLB = "virt_pom_tlb"
+    IDEAL_SHADOW_PAGING = "ideal_shadow_paging"
+    VIRT_VICTIMA = "virt_victima"
+
+    @property
+    def is_virtualized(self) -> bool:
+        return self in (SystemKind.NESTED_PAGING, SystemKind.VIRT_POM_TLB,
+                        SystemKind.IDEAL_SHADOW_PAGING, SystemKind.VIRT_VICTIMA)
+
+    @property
+    def uses_victima(self) -> bool:
+        return self in (SystemKind.VICTIMA, SystemKind.VIRT_VICTIMA)
+
+
+@dataclass
+class TLBConfig:
+    """Geometry and latency of one TLB."""
+
+    entries: int
+    associativity: int
+    latency: int
+    page_sizes: Tuple[PageSize, ...] = (PageSize.SIZE_4K,)
+
+    def validate(self) -> None:
+        if self.entries <= 0 or self.associativity <= 0:
+            raise ConfigurationError("TLB entries and associativity must be positive")
+        if self.entries % self.associativity != 0:
+            raise ConfigurationError("TLB entries must be a multiple of associativity")
+
+
+BOTH_PAGE_SIZES = (PageSize.SIZE_4K, PageSize.SIZE_2M)
+
+
+@dataclass
+class MMUConfig:
+    """The TLB hierarchy and page-walk caches (Table 3 defaults)."""
+
+    l1_itlb: TLBConfig = field(default_factory=lambda: TLBConfig(128, 8, 1, BOTH_PAGE_SIZES))
+    l1_dtlb_4k: TLBConfig = field(default_factory=lambda: TLBConfig(64, 4, 1, (PageSize.SIZE_4K,)))
+    l1_dtlb_2m: TLBConfig = field(default_factory=lambda: TLBConfig(32, 4, 1, (PageSize.SIZE_2M,)))
+    l2_tlb: TLBConfig = field(default_factory=lambda: TLBConfig(1536, 12, 12, BOTH_PAGE_SIZES))
+    #: Optional hardware L3 TLB (the Opt. L3 TLB configurations of Figure 8).
+    l3_tlb: Optional[TLBConfig] = None
+    #: Nested TLB used in virtualized execution (64-entry, 1-cycle in Table 3).
+    nested_tlb: TLBConfig = field(default_factory=lambda: TLBConfig(64, 4, 1, BOTH_PAGE_SIZES))
+    pwc_entries: int = 32
+    pwc_associativity: int = 4
+    pwc_latency: int = 2
+
+    def validate(self) -> None:
+        for tlb in (self.l1_itlb, self.l1_dtlb_4k, self.l1_dtlb_2m, self.l2_tlb,
+                    self.nested_tlb):
+            tlb.validate()
+        if self.l3_tlb is not None:
+            self.l3_tlb.validate()
+
+
+@dataclass
+class CacheConfig:
+    """Geometry, latency and policies of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    latency: int
+    replacement_policy: str = "lru"
+    prefetcher: Optional[str] = None
+    block_size: int = 64
+
+    def validate(self) -> None:
+        if self.size_bytes % (self.associativity * self.block_size) != 0:
+            raise ConfigurationError(
+                "cache size must be a multiple of associativity * block size")
+
+
+@dataclass
+class DramTimingConfig:
+    row_hit_latency: int = 110
+    row_miss_latency: int = 170
+    num_banks: int = 16
+
+
+@dataclass
+class VictimaConfig:
+    """Victima's knobs (all defaults follow the paper's design)."""
+
+    insert_on_miss: bool = True
+    insert_on_eviction: bool = True
+    use_predictor: bool = True
+    bypass_on_low_locality: bool = True
+    #: L2 TLB MPKI above which the TLB-aware policies activate.
+    tlb_pressure_threshold: float = 5.0
+    #: L2 cache MPKI above which the PTW-CP is bypassed.
+    cache_pressure_threshold: float = 5.0
+    #: Lower corner of the comparator bounding box (PTW frequency, PTW cost).
+    predictor_min_frequency: int = 1
+    predictor_min_cost: int = 1
+
+
+@dataclass
+class PomTLBConfig:
+    entries: int = 64 * 1024
+    associativity: int = 16
+    entry_size_bytes: int = 16
+
+
+@dataclass
+class SystemConfig:
+    """A complete evaluated system."""
+
+    kind: SystemKind = SystemKind.RADIX
+    label: str = "Radix"
+    mmu: MMUConfig = field(default_factory=MMUConfig)
+    l1i_cache: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 8, 4, "lru"))
+    l1d_cache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        32 * 1024, 8, 4, "lru", prefetcher="ip_stride"))
+    l2_cache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        2 * 1024 * 1024, 16, 16, "srrip", prefetcher="stream"))
+    l3_cache: Optional[CacheConfig] = field(default_factory=lambda: CacheConfig(
+        2 * 1024 * 1024, 16, 35, "srrip"))
+    dram: DramTimingConfig = field(default_factory=DramTimingConfig)
+    victima: VictimaConfig = field(default_factory=VictimaConfig)
+    pom_tlb: PomTLBConfig = field(default_factory=PomTLBConfig)
+    physical_memory_bytes: int = 64 * 1024 * 1024 * 1024
+    #: Base cycles-per-instruction of the core for non-memory work.
+    base_cpi: float = 0.35
+    #: Core frequency, used only when reporting wall-clock-style numbers.
+    frequency_ghz: float = 2.6
+
+    def validate(self) -> None:
+        self.mmu.validate()
+        for cache in (self.l1i_cache, self.l1d_cache, self.l2_cache):
+            cache.validate()
+        if self.l3_cache is not None:
+            self.l3_cache.validate()
+        if self.kind is SystemKind.L3_TLB and self.mmu.l3_tlb is None:
+            raise ConfigurationError("an L3-TLB system needs mmu.l3_tlb configured")
+        if self.kind.uses_victima and self.l2_cache.replacement_policy not in (
+                "srrip", "tlb_aware_srrip"):
+            raise ConfigurationError(
+                "Victima systems require an SRRIP-family L2 replacement policy")
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class SimulationConfig:
+    """Everything a single simulation run needs besides the workload object."""
+
+    system: SystemConfig = field(default_factory=SystemConfig)
+    #: Instructions per sampling epoch for time-varying statistics (reach).
+    epoch_instructions: int = 10_000
+    #: Maximum number of memory references to simulate (None = workload's own).
+    max_refs: Optional[int] = None

@@ -1,0 +1,190 @@
+"""Ready-made configurations for every system the paper evaluates.
+
+``make_system_config(name)`` accepts the following names:
+
+Native execution (Figure 20):
+    * ``radix`` — the baseline four-level radix system.
+    * ``opt_l2tlb_<N>`` — enlarged L2 TLB at an optimistic fixed 12-cycle
+      latency, e.g. ``opt_l2tlb_64k``, ``opt_l2tlb_128k`` (Figure 6).
+    * ``real_l2tlb_<N>`` — enlarged L2 TLB at the CACTI-derived latency
+      (Figure 7).
+    * ``opt_l3tlb_64k`` — baseline L2 TLB plus a 64K-entry L3 TLB (Figure 8);
+      the latency can be overridden with ``l3_latency=<cycles>``.
+    * ``pom_tlb`` — the 64K-entry software-managed part-of-memory TLB.
+    * ``victima`` — Victima with the TLB-aware SRRIP policy.
+    * ``victima_srrip`` — Victima with the TLB-agnostic SRRIP policy (Fig. 26).
+    * ``victima_no_predictor`` — Victima inserting every TLB block (ablation).
+    * ``victima_miss_only`` / ``victima_eviction_only`` — insertion-trigger
+      ablations.
+
+Virtualized execution (Figure 27):
+    * ``nested_paging`` — the NP baseline.
+    * ``virt_pom_tlb`` — NP plus the POM-TLB.
+    * ``ideal_shadow`` — ideal shadow paging.
+    * ``virt_victima`` — Victima caching both TLB and nested TLB blocks.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.analysis.cacti import tlb_access_latency
+from repro.common.errors import ConfigurationError
+from repro.sim.config import (
+    BOTH_PAGE_SIZES,
+    CacheConfig,
+    MMUConfig,
+    SystemConfig,
+    SystemKind,
+    TLBConfig,
+    VictimaConfig,
+)
+from repro.workloads.base import WorkloadConfig
+
+#: System names used for the paper's native-execution comparison (Figure 20).
+EVALUATED_NATIVE_SYSTEMS = (
+    "radix", "pom_tlb", "opt_l3tlb_64k", "opt_l2tlb_64k", "opt_l2tlb_128k", "victima",
+)
+#: System names used for the virtualized comparison (Figure 27).
+EVALUATED_VIRTUAL_SYSTEMS = (
+    "nested_paging", "virt_pom_tlb", "ideal_shadow", "virt_victima",
+)
+
+_SIZE_RE = re.compile(r"^(opt|real)_l2tlb_(\d+)k$")
+
+
+def _parse_entries(token: str) -> int:
+    return int(token) * 1024
+
+
+def make_system_config(name: str, l3_latency: Optional[int] = None,
+                       l2_cache_bytes: Optional[int] = None,
+                       hardware_scale: int = 1) -> SystemConfig:
+    """Build the :class:`SystemConfig` for a named evaluated system.
+
+    ``hardware_scale`` divides every capacity (TLB entries, cache sizes,
+    POM-TLB entries) by the given factor while keeping latencies unchanged.
+    The experiment runners use this to scale the machine down together with
+    the workload footprints so that the paper's capacity *ratios* — TLB reach
+    vs. footprint, L2-cache TLB-block capacity vs. footprint, page-table
+    working set vs. cache capacity — are preserved within simulation windows
+    that a pure-Python simulator can execute (see DESIGN.md, "scaled
+    simulation").  ``hardware_scale=1`` reproduces Table 3 verbatim.
+    """
+    name = name.lower()
+    config = SystemConfig()
+
+    match = _SIZE_RE.match(name)
+    if match is not None:
+        flavour, size_token = match.groups()
+        entries = _parse_entries(size_token)
+        latency = 12 if flavour == "opt" else tlb_access_latency(entries)
+        config.kind = SystemKind.LARGE_L2_TLB
+        config.label = f"{'Opt.' if flavour == 'opt' else 'Real.'} L2 TLB {size_token}K"
+        config.mmu.l2_tlb = TLBConfig(entries, 16, latency, BOTH_PAGE_SIZES)
+    elif name == "radix":
+        config.kind = SystemKind.RADIX
+        config.label = "Radix"
+    elif name in ("opt_l3tlb_64k", "l3_tlb"):
+        config.kind = SystemKind.L3_TLB
+        config.label = "Opt. L3 TLB 64K"
+        config.mmu.l3_tlb = TLBConfig(64 * 1024, 16, l3_latency or 15, BOTH_PAGE_SIZES)
+    elif name == "pom_tlb":
+        config.kind = SystemKind.POM_TLB
+        config.label = "POM-TLB 64K"
+        config.l2_cache.replacement_policy = "tlb_aware_srrip"
+    elif name.startswith("victima"):
+        config.kind = SystemKind.VICTIMA
+        config.label = "Victima"
+        config.l2_cache.replacement_policy = "tlb_aware_srrip"
+        if name == "victima_srrip":
+            config.label = "Victima (TLB-agnostic SRRIP)"
+            config.l2_cache.replacement_policy = "srrip"
+        elif name == "victima_no_predictor":
+            config.label = "Victima (no PTW-CP)"
+            config.victima = VictimaConfig(use_predictor=False)
+        elif name == "victima_miss_only":
+            config.label = "Victima (miss-triggered only)"
+            config.victima = VictimaConfig(insert_on_eviction=False)
+        elif name == "victima_eviction_only":
+            config.label = "Victima (eviction-triggered only)"
+            config.victima = VictimaConfig(insert_on_miss=False)
+        elif name != "victima":
+            raise ConfigurationError(f"unknown Victima variant: {name!r}")
+    elif name == "nested_paging":
+        config.kind = SystemKind.NESTED_PAGING
+        config.label = "Nested Paging"
+    elif name == "virt_pom_tlb":
+        config.kind = SystemKind.VIRT_POM_TLB
+        config.label = "POM-TLB (virtualized)"
+        config.l2_cache.replacement_policy = "tlb_aware_srrip"
+    elif name in ("ideal_shadow", "ideal_shadow_paging"):
+        config.kind = SystemKind.IDEAL_SHADOW_PAGING
+        config.label = "Ideal Shadow Paging"
+    elif name == "virt_victima":
+        config.kind = SystemKind.VIRT_VICTIMA
+        config.label = "Victima (virtualized)"
+        config.l2_cache.replacement_policy = "tlb_aware_srrip"
+    else:
+        raise ConfigurationError(f"unknown system name: {name!r}")
+
+    if l2_cache_bytes is not None:
+        config.l2_cache = CacheConfig(
+            l2_cache_bytes, config.l2_cache.associativity, config.l2_cache.latency,
+            config.l2_cache.replacement_policy, config.l2_cache.prefetcher)
+    if hardware_scale > 1:
+        _apply_hardware_scale(config, hardware_scale)
+    config.validate()
+    return config
+
+
+def _scale_tlb(tlb: TLBConfig, scale: int) -> TLBConfig:
+    entries = max(tlb.associativity, (tlb.entries // scale // tlb.associativity)
+                  * tlb.associativity)
+    return TLBConfig(entries, tlb.associativity, tlb.latency, tlb.page_sizes)
+
+
+def _scale_cache(cache: CacheConfig, scale: int) -> CacheConfig:
+    minimum = cache.associativity * cache.block_size
+    size = max(minimum, cache.size_bytes // scale)
+    # Keep the set count a power of two.
+    sets = max(1, size // minimum)
+    sets = 1 << (sets.bit_length() - 1)
+    return CacheConfig(sets * minimum, cache.associativity, cache.latency,
+                       cache.replacement_policy, cache.prefetcher, cache.block_size)
+
+
+def _apply_hardware_scale(config: SystemConfig, scale: int) -> None:
+    mmu = config.mmu
+    mmu.l1_itlb = _scale_tlb(mmu.l1_itlb, scale)
+    mmu.l1_dtlb_4k = _scale_tlb(mmu.l1_dtlb_4k, scale)
+    mmu.l1_dtlb_2m = _scale_tlb(mmu.l1_dtlb_2m, scale)
+    mmu.l2_tlb = _scale_tlb(mmu.l2_tlb, scale)
+    if mmu.l3_tlb is not None:
+        mmu.l3_tlb = _scale_tlb(mmu.l3_tlb, scale)
+    mmu.nested_tlb = _scale_tlb(mmu.nested_tlb, scale)
+    config.l1i_cache = _scale_cache(config.l1i_cache, scale)
+    config.l1d_cache = _scale_cache(config.l1d_cache, scale)
+    config.l2_cache = _scale_cache(config.l2_cache, scale)
+    if config.l3_cache is not None:
+        config.l3_cache = _scale_cache(config.l3_cache, scale)
+    # The POM-TLB is a software structure in DRAM, but its *capacity relative to
+    # the workload footprint* is what determines its hit rate, so it is scaled
+    # together with the rest of the machine to preserve that ratio.
+    config.pom_tlb.entries = max(config.pom_tlb.associativity * 64,
+                                 config.pom_tlb.entries // scale)
+
+
+#: Default number of memory references per workload for experiment runs.  The
+#: paper simulates 500M instructions per benchmark; our Python substrate uses a
+#: smaller window whose TLB/cache behaviour has converged (see DESIGN.md).
+DEFAULT_EXPERIMENT_REFS = 40_000
+
+
+def make_workload_config(name: str, max_refs: int = DEFAULT_EXPERIMENT_REFS,
+                         seed: int = 42, footprint_scale: float = 1.0,
+                         **params) -> WorkloadConfig:
+    """Build a :class:`WorkloadConfig` for a named workload."""
+    return WorkloadConfig(name=name, max_refs=max_refs, seed=seed,
+                          footprint_scale=footprint_scale, params=dict(params))

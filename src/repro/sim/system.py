@@ -1,0 +1,269 @@
+"""System factory: assemble every evaluated system from a :class:`SystemConfig`.
+
+A :class:`System` bundles the physical memory, DRAM, cache hierarchy, MMU
+(native or virtualized), and the optional Victima / POM-TLB / L3 TLB back-end,
+wired together exactly as the corresponding row of Table 3 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.pom_tlb import POMTLB
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import IPStridePrefetcher, Prefetcher, StreamPrefetcher
+from repro.cache.replacement import make_policy
+from repro.common.errors import ConfigurationError
+from repro.common.pressure import PressureMonitor
+from repro.core.ptw_cp import BoundingBox, ComparatorPTWCostPredictor
+from repro.core.victima import VictimaController
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.page_allocator import VirtualMemoryManager
+from repro.memory.physical import PhysicalMemory
+from repro.mmu.maintenance import TLBMaintenance
+from repro.mmu.mmu import MMU
+from repro.mmu.page_walker import PageTableWalker
+from repro.mmu.pwc import PageWalkCaches
+from repro.mmu.tlb import TLB
+from repro.sim.config import CacheConfig, SystemConfig, SystemKind, TLBConfig
+from repro.virt.nested import NestedPageTableWalker
+from repro.virt.shadow import ShadowPageTableBuilder
+from repro.virt.virt_mmu import VirtMode, VirtualizedMMU
+
+
+@dataclass
+class System:
+    """A fully assembled simulated machine."""
+
+    config: SystemConfig
+    physical: PhysicalMemory
+    dram: DramModel
+    hierarchy: CacheHierarchy
+    pressure: PressureMonitor
+    memory_manager: VirtualMemoryManager
+    walker: PageTableWalker
+    mmu: object  # MMU or VirtualizedMMU
+    maintenance: TLBMaintenance
+    victima: Optional[VictimaController] = None
+    pom_tlb: Optional[POMTLB] = None
+    l3_tlb: Optional[TLB] = None
+    nested_walker: Optional[NestedPageTableWalker] = None
+    shadow_builder: Optional[ShadowPageTableBuilder] = None
+
+    @property
+    def is_virtualized(self) -> bool:
+        return self.config.kind.is_virtualized
+
+    @property
+    def l2_cache(self) -> Cache:
+        return self.hierarchy.l2
+
+    @property
+    def page_table(self):
+        """The page table whose leaf entries back the TLB hierarchy.
+
+        Natively this is the process's radix table; in virtualized execution it
+        is the combined (shadow) gVA→hPA table.
+        """
+        if self.shadow_builder is not None:
+            return self.shadow_builder.table
+        return self.memory_manager.page_table
+
+    @property
+    def l2_tlb(self) -> TLB:
+        return self.mmu.l2_tlb
+
+
+def _make_tlb(name: str, config: TLBConfig) -> TLB:
+    return TLB(name, entries=config.entries, associativity=config.associativity,
+               latency=config.latency, page_sizes=config.page_sizes)
+
+
+def _make_prefetcher(name: Optional[str]) -> Optional[Prefetcher]:
+    if name is None:
+        return None
+    if name == "ip_stride":
+        return IPStridePrefetcher()
+    if name == "stream":
+        return StreamPrefetcher()
+    raise ConfigurationError(f"unknown prefetcher: {name!r}")
+
+
+def _make_cache(name: str, config: CacheConfig, pressure: PressureMonitor) -> Cache:
+    policy = make_policy(config.replacement_policy, pressure)
+    return Cache(name, size_bytes=config.size_bytes, associativity=config.associativity,
+                 latency=config.latency, block_size=config.block_size,
+                 replacement_policy=policy)
+
+
+def build_system(config: SystemConfig, huge_page_fraction: float = 0.3) -> System:
+    """Build a :class:`System` for ``config``.
+
+    ``huge_page_fraction`` is workload-dependent (the THP mix the paper
+    extracted per workload), so it is supplied by the caller rather than being
+    part of the system configuration.
+    """
+    config.validate()
+    kind = config.kind
+
+    physical = PhysicalMemory(config.physical_memory_bytes)
+    dram = DramModel(DramConfig(
+        row_hit_latency=config.dram.row_hit_latency,
+        row_miss_latency=config.dram.row_miss_latency,
+        num_banks=config.dram.num_banks,
+    ))
+    pressure = PressureMonitor(
+        tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
+        cache_pressure_threshold=config.victima.cache_pressure_threshold,
+    )
+
+    l1i = _make_cache("L1-I", config.l1i_cache, pressure)
+    l1d = _make_cache("L1-D", config.l1d_cache, pressure)
+    l2 = _make_cache("L2", config.l2_cache, pressure)
+    l3 = _make_cache("L3", config.l3_cache, pressure) if config.l3_cache is not None else None
+    hierarchy = CacheHierarchy(
+        l1i, l1d, l2, l3, dram,
+        l1d_prefetcher=_make_prefetcher(config.l1d_cache.prefetcher),
+        l2_prefetcher=_make_prefetcher(config.l2_cache.prefetcher),
+    )
+
+    l1_itlb = _make_tlb("L1-ITLB", config.mmu.l1_itlb)
+    l1_dtlb_4k = _make_tlb("L1-DTLB-4K", config.mmu.l1_dtlb_4k)
+    l1_dtlb_2m = _make_tlb("L1-DTLB-2M", config.mmu.l1_dtlb_2m)
+    l2_tlb = _make_tlb("L2-TLB", config.mmu.l2_tlb)
+
+    if not kind.is_virtualized:
+        return _build_native(config, physical, dram, hierarchy, pressure,
+                             l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
+                             huge_page_fraction)
+    return _build_virtualized(config, physical, dram, hierarchy, pressure,
+                              l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
+                              huge_page_fraction)
+
+
+# --------------------------------------------------------------------------- #
+# Native systems
+# --------------------------------------------------------------------------- #
+def _build_native(config, physical, dram, hierarchy, pressure,
+                  l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
+                  huge_page_fraction) -> System:
+    kind = config.kind
+    memory_manager = VirtualMemoryManager(physical, asid=0,
+                                          huge_page_fraction=huge_page_fraction)
+    pwcs = PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
+                          config.mmu.pwc_latency)
+    walker = PageTableWalker(hierarchy, pwcs)
+
+    victima = None
+    pom_tlb = None
+    l3_tlb = None
+
+    if kind.uses_victima:
+        predictor = ComparatorPTWCostPredictor(BoundingBox(
+            min_frequency=config.victima.predictor_min_frequency,
+            min_cost=config.victima.predictor_min_cost))
+        victima = VictimaController(
+            l2_cache=hierarchy.l2,
+            page_table=memory_manager.page_table,
+            walker=walker,
+            predictor=predictor,
+            pressure=pressure,
+            insert_on_miss=config.victima.insert_on_miss,
+            insert_on_eviction=config.victima.insert_on_eviction,
+            use_predictor=config.victima.use_predictor,
+            bypass_on_low_locality=config.victima.bypass_on_low_locality,
+        )
+    elif kind is SystemKind.POM_TLB:
+        pom_tlb = POMTLB(physical, hierarchy, entries=config.pom_tlb.entries,
+                         associativity=config.pom_tlb.associativity,
+                         entry_size_bytes=config.pom_tlb.entry_size_bytes)
+    elif kind is SystemKind.L3_TLB:
+        l3_tlb = _make_tlb("L3-TLB", config.mmu.l3_tlb)
+
+    mmu = MMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, walker, memory_manager,
+              pressure, l3_tlb=l3_tlb, pom_tlb=pom_tlb, victima=victima, asid=0)
+
+    tlbs: List[TLB] = [l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb]
+    if l3_tlb is not None:
+        tlbs.append(l3_tlb)
+    maintenance = TLBMaintenance(tlbs, pwcs, victima)
+
+    return System(config=config, physical=physical, dram=dram, hierarchy=hierarchy,
+                  pressure=pressure, memory_manager=memory_manager, walker=walker,
+                  mmu=mmu, maintenance=maintenance, victima=victima, pom_tlb=pom_tlb,
+                  l3_tlb=l3_tlb)
+
+
+# --------------------------------------------------------------------------- #
+# Virtualized systems
+# --------------------------------------------------------------------------- #
+def _build_virtualized(config, physical, dram, hierarchy, pressure,
+                       l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
+                       huge_page_fraction) -> System:
+    kind = config.kind
+    # The guest sees its own (pseudo-)physical address space; the host backs it
+    # with real frames.  Guest page-table nodes live in guest-physical memory
+    # and every guest-physical access is translated through the host dimension.
+    guest_physical = PhysicalMemory(config.physical_memory_bytes)
+    guest_vmm = VirtualMemoryManager(guest_physical, asid=0,
+                                     huge_page_fraction=huge_page_fraction)
+    # The host backing uses the same VMID (0) as the guest context: nested TLB
+    # blocks in the L2 cache are tagged by VMID, and the probe side (the nested
+    # walker) identifies the VM, not the host address space.
+    host_vmm = VirtualMemoryManager(physical, asid=0,
+                                    huge_page_fraction=huge_page_fraction)
+
+    host_pwcs = PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
+                               config.mmu.pwc_latency)
+    host_walker = PageTableWalker(hierarchy, host_pwcs)
+    shadow_pwcs = PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
+                                 config.mmu.pwc_latency)
+    shadow_walker = PageTableWalker(hierarchy, shadow_pwcs)
+    shadow_builder = ShadowPageTableBuilder(physical, vmid=0)
+    nested_tlb = _make_tlb("Nested-TLB", config.mmu.nested_tlb)
+
+    victima = None
+    pom_tlb = None
+    if kind is SystemKind.VIRT_VICTIMA:
+        predictor = ComparatorPTWCostPredictor(BoundingBox(
+            min_frequency=config.victima.predictor_min_frequency,
+            min_cost=config.victima.predictor_min_cost))
+        victima = VictimaController(
+            l2_cache=hierarchy.l2,
+            page_table=shadow_builder.table,
+            walker=shadow_walker,
+            predictor=predictor,
+            pressure=pressure,
+            host_page_table=host_vmm.page_table,
+            insert_on_miss=config.victima.insert_on_miss,
+            insert_on_eviction=config.victima.insert_on_eviction,
+            use_predictor=config.victima.use_predictor,
+            bypass_on_low_locality=config.victima.bypass_on_low_locality,
+        )
+    elif kind is SystemKind.VIRT_POM_TLB:
+        pom_tlb = POMTLB(physical, hierarchy, entries=config.pom_tlb.entries,
+                         associativity=config.pom_tlb.associativity,
+                         entry_size_bytes=config.pom_tlb.entry_size_bytes)
+
+    nested_walker = NestedPageTableWalker(
+        guest_vmm=guest_vmm, host_vmm=host_vmm, host_walker=host_walker,
+        nested_tlb=nested_tlb, hierarchy=hierarchy, shadow_builder=shadow_builder,
+        guest_pwcs=PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
+                                  config.mmu.pwc_latency),
+        victima=victima, vmid=0)
+
+    mode = (VirtMode.SHADOW_PAGING if kind is SystemKind.IDEAL_SHADOW_PAGING
+            else VirtMode.NESTED_PAGING)
+    mmu = VirtualizedMMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, nested_walker,
+                         shadow_walker, pressure, mode=mode, pom_tlb=pom_tlb,
+                         victima=victima, vmid=0)
+
+    tlbs: List[TLB] = [l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, nested_tlb]
+    maintenance = TLBMaintenance(tlbs, host_pwcs, victima)
+
+    return System(config=config, physical=physical, dram=dram, hierarchy=hierarchy,
+                  pressure=pressure, memory_manager=guest_vmm, walker=host_walker,
+                  mmu=mmu, maintenance=maintenance, victima=victima, pom_tlb=pom_tlb,
+                  nested_walker=nested_walker, shadow_builder=shadow_builder)

@@ -1,0 +1,61 @@
+"""Shadow page table: direct guest-virtual → host-physical mappings.
+
+Two users:
+
+* **Ideal shadow paging (I-SP)** — the paper's optimistic comparison point for
+  virtualized execution: translation needs only a one-dimensional walk of the
+  shadow table and keeping the shadow table synchronised with the guest is
+  assumed free.
+* **The combined-translation store** — in every virtualized system the L2 TLB
+  (and Victima's conventional TLB blocks) hold direct gVA→hPA translations;
+  we materialise those combined entries as PTEs of a shadow radix table so
+  the TLB, the PTW-CP counters and Victima's cluster transformation all work
+  unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.common.addresses import PageSize, page_number
+from repro.memory.page_table import PageTableEntry, RadixPageTable
+from repro.memory.physical import PhysicalMemory
+
+
+class ShadowPageTableBuilder:
+    """Lazily builds a radix table of combined gVA→hPA translations."""
+
+    def __init__(self, host_physical: PhysicalMemory, vmid: int = 0):
+        self.vmid = vmid
+        self.table = RadixPageTable(host_physical, asid=vmid)
+        self.installed_pages = 0
+
+    def install(self, gva: int, guest_pte: PageTableEntry,
+                host_pte: PageTableEntry) -> PageTableEntry:
+        """Install (or fetch) the combined mapping for the page containing ``gva``.
+
+        The combined entry uses the *guest* page size; its frame number is the
+        host-physical address of the guest page's base.  When a 2 MB guest page
+        is backed by 4 KB host pages the resulting physical addresses inside
+        the page are an approximation (they assume host contiguity), which only
+        affects which cache sets the data lands in, not translation behaviour.
+        """
+        page_size = guest_pte.page_size
+        vpn = page_number(gva, page_size)
+        vaddr = vpn << page_size.offset_bits
+        if self.table.is_mapped(vaddr):
+            return self.table.translate(vaddr)
+        guest_page_base = guest_pte.pfn << page_size.offset_bits
+        host_base = host_pte.translate(guest_page_base)
+        pfn = host_base >> page_size.offset_bits
+        combined = self.table.map_page(vpn, pfn, page_size)
+        self.installed_pages += 1
+        return combined
+
+    def lookup(self, gva: int) -> PageTableEntry | None:
+        """Return the combined entry for ``gva`` if one has been installed."""
+        if self.table.is_mapped(gva):
+            return self.table.translate(gva)
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.table.size_bytes

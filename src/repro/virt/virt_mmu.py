@@ -1,0 +1,238 @@
+"""The virtualized MMU: nested paging, ideal shadow paging, POM-TLB and Victima.
+
+Mirrors :class:`repro.mmu.mmu.MMU` for virtualized execution (Figures 3 and 19
+of the paper).  The L1/L2 TLBs cache *combined* guest-virtual → host-physical
+translations; what differs between the evaluated systems is how an L2 TLB miss
+is resolved:
+
+* **Nested paging (NP)** — a two-dimensional walk via the nested walker.
+* **NP + POM-TLB** — probe the in-memory software TLB first, then 2-D walk.
+* **Ideal shadow paging (I-SP)** — a one-dimensional walk of the shadow table,
+  with shadow-table maintenance assumed free.
+* **Victima** — probe the L2 cache for a conventional TLB block in parallel
+  with the 2-D walk; inside the walk, nested-TLB misses probe nested TLB
+  blocks.  Completed walks insert both kinds of blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.addresses import PageSize
+from repro.common.pressure import PressureMonitor
+from repro.memory.page_table import PageTableEntry
+from repro.mmu.mmu import ServedBy, TranslationResult
+from repro.mmu.page_walker import PageTableWalker
+from repro.mmu.tlb import TLB
+from repro.virt.nested import NestedPageTableWalker
+
+
+class VirtMode(enum.Enum):
+    """How L2 TLB misses are resolved in virtualized execution."""
+
+    NESTED_PAGING = "nested_paging"
+    SHADOW_PAGING = "shadow_paging"
+
+
+@dataclass
+class VirtualizedMMUStats:
+    translations: int = 0
+    l1_tlb_hits: int = 0
+    l2_tlb_hits: int = 0
+    l2_tlb_misses: int = 0
+    guest_page_walks: int = 0
+    host_page_walks: int = 0
+    shadow_walks: int = 0
+    victima_hits: int = 0
+    pom_tlb_hits: int = 0
+    l1_tlb_evictions: int = 0
+    l2_tlb_evictions: int = 0
+    total_translation_latency: int = 0
+    total_miss_latency: int = 0
+    miss_latency_breakdown: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_miss_latency(self) -> float:
+        return self.total_miss_latency / self.l2_tlb_misses if self.l2_tlb_misses else 0.0
+
+
+class VirtualizedMMU:
+    """Two-level TLB hierarchy over a virtualized translation back-end."""
+
+    def __init__(
+        self,
+        l1_itlb: TLB,
+        l1_dtlb_4k: TLB,
+        l1_dtlb_2m: TLB,
+        l2_tlb: TLB,
+        nested_walker: NestedPageTableWalker,
+        shadow_walker: PageTableWalker,
+        pressure: PressureMonitor,
+        mode: VirtMode = VirtMode.NESTED_PAGING,
+        pom_tlb=None,
+        victima=None,
+        vmid: int = 0,
+    ):
+        self.l1_itlb = l1_itlb
+        self.l1_dtlb_4k = l1_dtlb_4k
+        self.l1_dtlb_2m = l1_dtlb_2m
+        self.l2_tlb = l2_tlb
+        self.nested_walker = nested_walker
+        self.shadow_walker = shadow_walker
+        self.pressure = pressure
+        self.mode = mode
+        self.pom_tlb = pom_tlb
+        self.victima = victima
+        self.vmid = vmid
+        self.stats = VirtualizedMMUStats()
+
+    # Shared handles ------------------------------------------------------- #
+    @property
+    def shadow_table(self):
+        return self.nested_walker.shadow_builder.table
+
+    @property
+    def guest_memory_manager(self):
+        return self.nested_walker.guest_vmm
+
+    # ------------------------------------------------------------------ #
+    # Translation flow
+    # ------------------------------------------------------------------ #
+    def translate(self, gva: int, is_instruction: bool = False) -> TranslationResult:
+        self.stats.translations += 1
+
+        # -- L1 TLBs -------------------------------------------------------- #
+        latency = self.l1_itlb.latency if is_instruction else self.l1_dtlb_4k.latency
+        entry = self._l1_lookup(gva, is_instruction)
+        if entry is not None:
+            self.stats.l1_tlb_hits += 1
+            result = TranslationResult(
+                vaddr=gva, paddr=entry.translate(gva), pte=entry.pte, latency=latency,
+                served_by=ServedBy.L1_TLB, l1_tlb_miss=False, l2_tlb_miss=False,
+                page_walk=False)
+            self.stats.total_translation_latency += latency
+            return result
+
+        # -- L2 TLB --------------------------------------------------------- #
+        latency += self.l2_tlb.latency
+        l2_entry = self.l2_tlb.lookup(gva, self.vmid)
+        if l2_entry is not None:
+            self.stats.l2_tlb_hits += 1
+            self._fill_l1(l2_entry.pte, is_instruction)
+            result = TranslationResult(
+                vaddr=gva, paddr=l2_entry.translate(gva), pte=l2_entry.pte, latency=latency,
+                served_by=ServedBy.L2_TLB, l1_tlb_miss=True, l2_tlb_miss=False,
+                page_walk=False)
+            self.stats.total_translation_latency += latency
+            return result
+
+        # -- L2 TLB miss ----------------------------------------------------- #
+        self.stats.l2_tlb_misses += 1
+        self.pressure.record_l2_tlb_miss()
+        served_by, pte, miss_latency, breakdown, walked = self._resolve_miss(gva)
+        latency += miss_latency
+
+        pte.features.l1_tlb_misses.increment()
+        pte.features.l2_tlb_misses.increment()
+        pte.features.accesses.increment()
+        self._fill_l2(pte)
+        self._fill_l1(pte, is_instruction)
+
+        self.stats.total_miss_latency += miss_latency
+        self.stats.total_translation_latency += latency
+        for component, cycles in breakdown.items():
+            self.stats.miss_latency_breakdown[component] = (
+                self.stats.miss_latency_breakdown.get(component, 0) + cycles)
+
+        result = TranslationResult(
+            vaddr=gva, paddr=pte.translate(gva), pte=pte, latency=latency,
+            served_by=served_by, l1_tlb_miss=True, l2_tlb_miss=True, page_walk=walked,
+            miss_latency=miss_latency, miss_breakdown=breakdown)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Miss resolution
+    # ------------------------------------------------------------------ #
+    def _resolve_miss(self, gva: int):
+        breakdown: Dict[str, int] = {}
+
+        if self.mode is VirtMode.SHADOW_PAGING:
+            # Ideal shadow paging: keep the shadow table in sync for free,
+            # then a one-dimensional walk resolves the translation.
+            self.nested_walker.install_shadow_mapping(gva)
+            walk = self.shadow_walker.walk(self.shadow_table, gva)
+            self.stats.shadow_walks += 1
+            self.stats.guest_page_walks += 1
+            breakdown["guest"] = walk.latency
+            return ServedBy.PAGE_WALK, walk.pte, walk.latency, breakdown, True
+
+        if self.victima is not None:
+            block_pte, probe_latency = self.victima.probe(gva, self.vmid)
+            if block_pte is not None:
+                self.stats.victima_hits += 1
+                breakdown["l2_cache"] = probe_latency
+                return ServedBy.VICTIMA_BLOCK, block_pte, probe_latency, breakdown, False
+            nested = self._nested_walk(gva)
+            breakdown["guest"] = nested.guest_latency
+            breakdown["host"] = nested.host_latency
+            self.victima.on_l2_tlb_miss(nested.combined_pte)
+            return ServedBy.PAGE_WALK, nested.combined_pte, nested.latency, breakdown, True
+
+        if self.pom_tlb is not None:
+            pom_pte, pom_latency = self.pom_tlb.lookup(gva, self.vmid)
+            breakdown["stlb"] = pom_latency
+            if pom_pte is not None:
+                self.stats.pom_tlb_hits += 1
+                return ServedBy.POM_TLB, pom_pte, pom_latency, breakdown, False
+            nested = self._nested_walk(gva)
+            breakdown["guest"] = nested.guest_latency
+            breakdown["host"] = nested.host_latency
+            self.pom_tlb.insert(nested.combined_pte, self.vmid)
+            return (ServedBy.PAGE_WALK, nested.combined_pte,
+                    pom_latency + nested.latency, breakdown, True)
+
+        nested = self._nested_walk(gva)
+        breakdown["guest"] = nested.guest_latency
+        breakdown["host"] = nested.host_latency
+        return ServedBy.PAGE_WALK, nested.combined_pte, nested.latency, breakdown, True
+
+    def _nested_walk(self, gva: int):
+        nested = self.nested_walker.walk(gva)
+        self.stats.guest_page_walks += 1
+        self.stats.host_page_walks += nested.host_walks
+        return nested
+
+    # ------------------------------------------------------------------ #
+    # TLB fills
+    # ------------------------------------------------------------------ #
+    def _l1_lookup(self, gva: int, is_instruction: bool):
+        if is_instruction:
+            return self.l1_itlb.lookup(gva, self.vmid)
+        entry = self.l1_dtlb_4k.lookup(gva, self.vmid)
+        if entry is not None:
+            return entry
+        return self.l1_dtlb_2m.lookup(gva, self.vmid)
+
+    def _fill_l1(self, pte: PageTableEntry, is_instruction: bool) -> None:
+        if is_instruction:
+            target = self.l1_itlb
+        elif pte.page_size is PageSize.SIZE_2M:
+            target = self.l1_dtlb_2m
+        else:
+            target = self.l1_dtlb_4k
+        if not target.supports(pte.page_size):  # pragma: no cover - defensive
+            return
+        evicted = target.insert(pte, self.vmid)
+        if evicted is not None:
+            self.stats.l1_tlb_evictions += 1
+            evicted.pte.features.l1_tlb_evictions.increment()
+
+    def _fill_l2(self, pte: PageTableEntry) -> None:
+        evicted = self.l2_tlb.insert(pte, self.vmid)
+        if evicted is not None:
+            self.stats.l2_tlb_evictions += 1
+            evicted.pte.features.l2_tlb_evictions.increment()
+            if self.victima is not None:
+                self.victima.on_l2_tlb_eviction(evicted)

@@ -1,0 +1,22 @@
+"""Synthetic data-intensive workload generators.
+
+The paper evaluates 11 workloads from five suites (Table 4): seven GraphBIG
+kernels, XSBench, GUPS random access, DLRM sparse-length-sum and GenomicsBench
+k-mer counting.  We reproduce each as a deterministic generator of virtual
+memory references whose structure (footprint, irregularity, spatial locality,
+huge-page mix) matches the original workload's qualitative behaviour — the
+property that drives TLB and cache statistics, which is all the evaluation
+depends on.
+"""
+
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload, workload_catalog
+
+__all__ = [
+    "MemoryRef",
+    "Workload",
+    "WorkloadConfig",
+    "WORKLOAD_NAMES",
+    "make_workload",
+    "workload_catalog",
+]

@@ -1,0 +1,145 @@
+"""Workload abstractions: memory references, configuration and the base class."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """One data memory reference emitted by a workload.
+
+    ``instruction_gap`` is the number of non-memory instructions retired since
+    the previous memory reference; the simulator charges them at the base CPI.
+    ``ip`` is a synthetic instruction pointer identifying the access site,
+    which the IP-stride prefetcher uses for training.
+    """
+
+    ip: int
+    vaddr: int
+    is_write: bool = False
+    instruction_gap: int = 2
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters shared by every workload generator."""
+
+    name: str
+    max_refs: int = 50_000
+    seed: int = 42
+    #: Fraction of 2 MB-aligned regions backed by transparent huge pages.
+    #: ``None`` means "use the workload's characteristic default".
+    huge_page_fraction: Optional[float] = None
+    #: Mean number of non-memory instructions between two memory references.
+    mean_instruction_gap: float = 2.0
+    #: Data-structure footprint scale factor (1.0 = the default sizes below).
+    footprint_scale: float = 1.0
+    #: Generator-specific parameters (documented by each workload).
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+class Workload:
+    """Base class: deterministic pseudo-random memory reference generator."""
+
+    #: Registry name, e.g. ``"bfs"``; set by subclasses.
+    name = "base"
+    #: Default huge-page fraction, matching the THP mix of the original workload.
+    default_huge_page_fraction = 0.3
+
+    #: Virtual base addresses for the major data structures, spread far apart
+    #: so different structures never share pages.
+    REGION_BASE = 0x1000_0000_0000
+    REGION_STRIDE = 0x0100_0000_0000
+
+    def __init__(self, config: WorkloadConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self._next_region = 0
+        self._regions: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # Address-space layout helpers
+    # ------------------------------------------------------------------ #
+    def region(self, size_bytes: int) -> int:
+        """Reserve a virtual region for a data structure; returns its base."""
+        base = self.REGION_BASE + self._next_region * self.REGION_STRIDE
+        if size_bytes > self.REGION_STRIDE:
+            raise ValueError("data structure larger than the per-region stride")
+        self._next_region += 1
+        self._regions.append((base, size_bytes))
+        return base
+
+    def memory_regions(self) -> List[Tuple[int, int]]:
+        """Return every reserved ``(base, size)`` data-structure region.
+
+        The simulator pre-faults these before the measured window begins: the
+        paper's workloads allocate and initialise their (multi-gigabyte)
+        datasets before the 500M-instruction region of interest, so their page
+        tables are fully populated when measurement starts.
+        """
+        return list(self._regions)
+
+    def scaled(self, size: int) -> int:
+        """Scale a default structure size by the config's footprint factor."""
+        return max(1, int(size * self.config.footprint_scale))
+
+    # ------------------------------------------------------------------ #
+    # Reference emission helpers
+    # ------------------------------------------------------------------ #
+    def gap(self) -> int:
+        """Sample the instruction gap before the next memory reference."""
+        mean = self.config.mean_instruction_gap
+        return max(1, int(self.rng.expovariate(1.0 / mean)) + 1) if mean > 0 else 1
+
+    def ref(self, ip: int, vaddr: int, write: bool = False) -> MemoryRef:
+        return MemoryRef(ip=ip, vaddr=vaddr, is_write=write, instruction_gap=self.gap())
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Iterator[MemoryRef]:
+        """Yield up to ``config.max_refs`` memory references."""
+        raise NotImplementedError
+
+    @property
+    def huge_page_fraction(self) -> float:
+        if self.config.huge_page_fraction is not None:
+            return self.config.huge_page_fraction
+        return self.default_huge_page_fraction
+
+    def bounded(self) -> Iterator[MemoryRef]:
+        """``generate()`` truncated to the configured number of references."""
+        count = 0
+        for ref in self.generate():
+            yield ref
+            count += 1
+            if count >= self.config.max_refs:
+                return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, max_refs={self.config.max_refs})"
+
+
+def power_law_degree(rng: random.Random, mean_degree: int, maximum: int) -> int:
+    """Sample a heavy-tailed vertex degree (Pareto-like, clipped)."""
+    u = rng.random()
+    degree = int(mean_degree * 0.5 / max(u, 1e-6) ** 0.7)
+    return max(1, min(degree, maximum))
+
+
+def mix_hash(*values: int) -> int:
+    """A small deterministic integer hash used for structural randomness.
+
+    Workloads use it where a *stable* pseudo-random value is needed (e.g. the
+    neighbour list of a vertex) so that repeated visits to the same vertex see
+    the same neighbours, giving realistic reuse.
+    """
+    h = 0x9E3779B97F4A7C15
+    for value in values:
+        h ^= (value + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)) & 0xFFFFFFFFFFFFFFFF
+        h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 27
+    return h & 0x7FFFFFFFFFFFFFFF

@@ -1,0 +1,61 @@
+"""DLRM sparse-length-sum: embedding-table gathers.
+
+The paper's DLRM workload is the SparseLengthsSum operator: for every sample,
+each of several large embedding tables is gathered at a handful of random row
+indices and the rows are summed.  Rows are small (tens to hundreds of bytes),
+so each gather touches one or two cache blocks of an otherwise cold,
+multi-gigabyte table — a classic high-TLB-pressure pattern with a skewed
+(Zipfian) popularity distribution across rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig
+
+IP_EMBEDDING = 0x430100
+IP_OUTPUT = 0x430110
+
+
+class DLRMSparseLengthSum(Workload):
+    """Embedding gathers over several large tables (the DLRM workload)."""
+
+    name = "dlrm"
+    default_huge_page_fraction = 0.45
+
+    def __init__(self, config: WorkloadConfig):
+        super().__init__(config)
+        params = config.params
+        self.num_tables = int(params.get("num_tables", 4))
+        self.rows_per_table = int(params.get("rows_per_table", self.scaled(500_000)))
+        self.row_bytes = int(params.get("row_bytes", 128))
+        self.pooling_factor = int(params.get("pooling_factor", 20))
+        self.zipf_alpha = float(params.get("zipf_alpha", 1.05))
+        self.table_bases = [
+            self.region(self.rows_per_table * self.row_bytes) for _ in range(self.num_tables)
+        ]
+        self.output_base = self.region(64 * 1024 * 1024)
+        self._sample = 0
+
+    def _zipf_row(self) -> int:
+        # Inverse-CDF approximation of a Zipf distribution over row indices:
+        # a small set of hot rows absorbs a sizeable share of the gathers.
+        u = self.rng.random()
+        hot_rows = max(self.rows_per_table // 1000, 1)
+        if u < 0.2:
+            return self.rng.randrange(hot_rows)
+        return self.rng.randrange(self.rows_per_table)
+
+    def generate(self) -> Iterator[MemoryRef]:
+        while True:
+            self._sample += 1
+            for table_base in self.table_bases:
+                for _ in range(self.pooling_factor):
+                    row = self._zipf_row()
+                    addr = table_base + row * self.row_bytes
+                    yield self.ref(IP_EMBEDDING, addr)
+                    if self.row_bytes > 64:
+                        yield self.ref(IP_EMBEDDING, addr + 64)
+            out = self.output_base + (self._sample * 256) % (64 * 1024 * 1024)
+            yield self.ref(IP_OUTPUT, out, write=True)

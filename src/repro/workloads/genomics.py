@@ -1,0 +1,54 @@
+"""GenomicsBench k-mer counting (the GEN workload).
+
+K-mer counting streams sequencing reads (excellent spatial locality) and, for
+every k-mer, updates a bucket of a very large hash table (essentially random,
+with occasional probe chains).  The mix of a perfectly streaming component and
+a huge irregular component gives it a distinctive profile: the prefetchers
+absorb the streaming half while the hash updates stress the TLB.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig, mix_hash
+
+IP_READ = 0x440100
+IP_HASH = 0x440110
+IP_CHAIN = 0x440120
+BUCKET_BYTES = 32
+
+
+class KmerCounting(Workload):
+    """Streaming reads + random hash-table updates (the GEN workload)."""
+
+    name = "gen"
+    default_huge_page_fraction = 0.3
+
+    def __init__(self, config: WorkloadConfig):
+        super().__init__(config)
+        params = config.params
+        self.reads_bytes = int(params.get("reads_bytes", self.scaled(64 * 1024 * 1024)))
+        self.table_buckets = int(params.get("table_buckets", self.scaled(3_000_000)))
+        self.chain_probability = float(params.get("chain_probability", 0.15))
+        self.kmers_per_block = int(params.get("kmers_per_block", 4))
+        self.reads_base = self.region(self.reads_bytes)
+        self.table_base = self.region(self.table_buckets * BUCKET_BYTES)
+        self._cursor = 0
+
+    def generate(self) -> Iterator[MemoryRef]:
+        position = 0
+        while True:
+            # Stream the next block of the read data.
+            read_addr = self.reads_base + (self._cursor % self.reads_bytes)
+            self._cursor += 64
+            yield self.ref(IP_READ, read_addr)
+            # Each streamed block yields a few k-mers, each hashing to a bucket.
+            for i in range(self.kmers_per_block):
+                position += 1
+                bucket = mix_hash(position, i) % self.table_buckets
+                addr = self.table_base + bucket * BUCKET_BYTES
+                yield self.ref(IP_HASH, addr, write=True)
+                if self.rng.random() < self.chain_probability:
+                    chained = mix_hash(bucket, 0xC0FFEE) % self.table_buckets
+                    yield self.ref(IP_CHAIN, self.table_base + chained * BUCKET_BYTES)

@@ -1,0 +1,184 @@
+"""GraphBIG-like graph analytics workloads (BC, BFS, CC, GC, PR, SSSP, TC).
+
+All seven kernels operate on an implicit CSR graph:
+
+* a **vertex property array** (per-vertex state: rank, component id, colour,
+  distance, ...),
+* an **offset array** (one entry per vertex), and
+* an **edge array** (the concatenated neighbour lists).
+
+The kernels differ in *which* vertices they process and in how much work they
+do per vertex, which yields the different locality profiles the paper's
+workloads exhibit:
+
+* PR and CC sweep all vertices each iteration (streaming over the vertex and
+  offset arrays) but make an irregular access per neighbour.
+* BFS, SSSP and BC process a frontier of essentially random vertices.
+* GC processes vertices in a shuffled order and re-reads neighbour colours.
+* TC intersects two neighbour lists per edge, doubling the irregular accesses.
+
+The graph is never materialised: degrees and neighbour ids are deterministic
+hash functions of the vertex id, so the same vertex always has the same
+neighbourhood (real reuse) without storing gigabytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig, mix_hash, power_law_degree
+
+#: Bytes per vertex property entry (e.g. a rank plus a scratch field).
+VERTEX_BYTES = 16
+#: Bytes per offset array entry.
+OFFSET_BYTES = 8
+#: Bytes per edge array entry (destination vertex id).
+EDGE_BYTES = 8
+
+#: Synthetic instruction pointers for the access sites.
+IP_VERTEX = 0x400100
+IP_OFFSET = 0x400110
+IP_EDGE = 0x400120
+IP_NEIGHBOR = 0x400130
+IP_NEIGHBOR2 = 0x400140
+IP_UPDATE = 0x400150
+
+
+class GraphWorkload(Workload):
+    """Base class for the seven GraphBIG-like kernels."""
+
+    name = "graph"
+    #: How the kernel picks the next vertex to process: "stream", "frontier"
+    #: or "shuffled".
+    traversal = "stream"
+    #: Neighbour accesses per processed vertex are capped at this value.
+    max_neighbors = 24
+    #: Whether the kernel also reads a second neighbour list (TC).
+    second_hop = False
+    #: Whether the kernel writes the property of visited neighbours.
+    writes_neighbors = True
+    default_huge_page_fraction = 0.35
+
+    def __init__(self, config: WorkloadConfig):
+        super().__init__(config)
+        params = config.params
+        self.num_vertices = int(params.get("num_vertices", self.scaled(1_500_000)))
+        self.mean_degree = int(params.get("mean_degree", 16))
+        self.vertex_base = self.region(self.num_vertices * VERTEX_BYTES)
+        self.offset_base = self.region(self.num_vertices * OFFSET_BYTES)
+        self.edge_base = self.region(self.num_vertices * self.mean_degree * EDGE_BYTES)
+
+    # ------------------------------------------------------------------ #
+    # Implicit graph structure
+    # ------------------------------------------------------------------ #
+    def degree(self, vertex: int) -> int:
+        rng_value = mix_hash(vertex, 0xDE6) % 10_000
+        # Re-create a heavy-tailed degree deterministically from the hash.
+        u = (rng_value + 1) / 10_001
+        degree = int(self.mean_degree * 0.5 / u ** 0.7)
+        return max(1, min(degree, self.max_neighbors * 4))
+
+    def neighbor(self, vertex: int, index: int) -> int:
+        return mix_hash(vertex, index, 0xAB) % self.num_vertices
+
+    def edge_offset(self, vertex: int) -> int:
+        # A stable pseudo-offset into the edge array; consecutive edges of the
+        # same vertex are contiguous (spatial locality within a neighbour list).
+        return (mix_hash(vertex, 0xED9E) % (self.num_vertices * self.mean_degree // 2)) * EDGE_BYTES
+
+    # ------------------------------------------------------------------ #
+    # Vertex selection per traversal style
+    # ------------------------------------------------------------------ #
+    def _next_vertex(self, step: int) -> int:
+        if self.traversal == "stream":
+            return step % self.num_vertices
+        if self.traversal == "shuffled":
+            return mix_hash(step, 0x5107) % self.num_vertices
+        # Frontier-style: random vertices with a mild bias towards a hot set,
+        # mimicking the frontier re-expansion of BFS/SSSP/BC.
+        if self.rng.random() < 0.2:
+            return mix_hash(step // 64, 0xF07) % max(self.num_vertices // 50, 1)
+        return self.rng.randrange(self.num_vertices)
+
+    # ------------------------------------------------------------------ #
+    # Reference stream
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Iterator[MemoryRef]:
+        step = 0
+        while True:
+            vertex = self._next_vertex(step)
+            step += 1
+            yield self.ref(IP_VERTEX, self.vertex_base + vertex * VERTEX_BYTES)
+            yield self.ref(IP_OFFSET, self.offset_base + vertex * OFFSET_BYTES)
+            degree = min(self.degree(vertex), self.max_neighbors)
+            edge_start = self.edge_base + self.edge_offset(vertex)
+            for i in range(degree):
+                yield self.ref(IP_EDGE, edge_start + i * EDGE_BYTES)
+                neighbor = self.neighbor(vertex, i)
+                yield self.ref(IP_NEIGHBOR, self.vertex_base + neighbor * VERTEX_BYTES,
+                               write=self.writes_neighbors)
+                if self.second_hop:
+                    second = self.neighbor(neighbor, i % 4)
+                    yield self.ref(IP_NEIGHBOR2, self.vertex_base + second * VERTEX_BYTES)
+            yield self.ref(IP_UPDATE, self.vertex_base + vertex * VERTEX_BYTES, write=True)
+
+
+class BetweennessCentrality(GraphWorkload):
+    """BC: frontier-driven traversal with per-neighbour dependency updates."""
+
+    name = "bc"
+    traversal = "frontier"
+    max_neighbors = 20
+
+
+class BreadthFirstSearch(GraphWorkload):
+    """BFS: frontier-driven traversal, light per-vertex work."""
+
+    name = "bfs"
+    traversal = "frontier"
+    max_neighbors = 12
+    writes_neighbors = True
+
+
+class ConnectedComponents(GraphWorkload):
+    """CC: label propagation, streaming over all vertices each iteration."""
+
+    name = "cc"
+    traversal = "stream"
+    max_neighbors = 16
+
+
+class GraphColoring(GraphWorkload):
+    """GC: shuffled vertex order, reads neighbour colours before writing its own."""
+
+    name = "gc"
+    traversal = "shuffled"
+    max_neighbors = 16
+    writes_neighbors = False
+
+
+class PageRank(GraphWorkload):
+    """PR: streaming vertex sweep with irregular rank gathers from neighbours."""
+
+    name = "pr"
+    traversal = "stream"
+    max_neighbors = 20
+    writes_neighbors = False
+
+
+class ShortestPath(GraphWorkload):
+    """SSSP: frontier-driven relaxations (GraphBIG's shortest-path kernel)."""
+
+    name = "sssp"
+    traversal = "frontier"
+    max_neighbors = 16
+
+
+class TriangleCounting(GraphWorkload):
+    """TC: per-edge neighbour-list intersection — two irregular streams."""
+
+    name = "tc"
+    traversal = "shuffled"
+    max_neighbors = 10
+    second_hop = True
+    writes_neighbors = False

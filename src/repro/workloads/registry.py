@@ -1,0 +1,98 @@
+"""Workload registry: name → generator class, plus suite metadata (Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Workload, WorkloadConfig
+from repro.workloads.dlrm import DLRMSparseLengthSum
+from repro.workloads.genomics import KmerCounting
+from repro.workloads.graph import (
+    BetweennessCentrality,
+    BreadthFirstSearch,
+    ConnectedComponents,
+    GraphColoring,
+    PageRank,
+    ShortestPath,
+    TriangleCounting,
+)
+from repro.workloads.gups import RandomAccess
+from repro.workloads.xsbench import XSBench
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Catalog entry describing one workload (mirrors Table 4)."""
+
+    name: str
+    suite: str
+    description: str
+    paper_dataset_gb: float
+    cls: Type[Workload]
+
+
+_CATALOG = [
+    WorkloadInfo("bc", "GraphBIG", "Betweenness centrality", 8.0, BetweennessCentrality),
+    WorkloadInfo("bfs", "GraphBIG", "Breadth-first search", 8.0, BreadthFirstSearch),
+    WorkloadInfo("cc", "GraphBIG", "Connected components", 8.0, ConnectedComponents),
+    WorkloadInfo("gc", "GraphBIG", "Graph coloring", 8.0, GraphColoring),
+    WorkloadInfo("pr", "GraphBIG", "PageRank", 8.0, PageRank),
+    WorkloadInfo("sssp", "GraphBIG", "Single-source shortest path", 8.0, ShortestPath),
+    WorkloadInfo("tc", "GraphBIG", "Triangle counting", 8.0, TriangleCounting),
+    WorkloadInfo("xs", "XSBench", "Monte Carlo particle simulation", 9.0, XSBench),
+    WorkloadInfo("rnd", "GUPS", "Random access", 10.0, RandomAccess),
+    WorkloadInfo("dlrm", "DLRM", "Sparse-length sum", 10.3, DLRMSparseLengthSum),
+    WorkloadInfo("gen", "GenomicsBench", "k-mer counting", 33.0, KmerCounting),
+]
+
+_BY_NAME: Dict[str, WorkloadInfo] = {info.name: info for info in _CATALOG}
+
+#: The 11 evaluated workload names, in the paper's (alphabetical-ish) order.
+WORKLOAD_NAMES = tuple(info.name for info in _CATALOG)
+
+
+def workload_catalog() -> Dict[str, WorkloadInfo]:
+    """Return the full catalog keyed by workload name."""
+    return dict(_BY_NAME)
+
+
+def make_workload(name_or_config, max_refs: Optional[int] = None,
+                  seed: Optional[int] = None, footprint_scale: Optional[float] = None,
+                  huge_page_fraction: Optional[float] = None, **params) -> Workload:
+    """Instantiate a workload by name or from a :class:`WorkloadConfig`.
+
+    Examples
+    --------
+    >>> wl = make_workload("rnd", max_refs=1000)
+    >>> refs = list(wl.bounded())
+    >>> len(refs)
+    1000
+    """
+    if isinstance(name_or_config, WorkloadConfig):
+        config = name_or_config
+        name = config.name
+    else:
+        name = str(name_or_config)
+        config = WorkloadConfig(name=name)
+    if name not in _BY_NAME:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}")
+    if max_refs is not None:
+        config.max_refs = max_refs
+    if seed is not None:
+        config.seed = seed
+    if footprint_scale is not None:
+        config.footprint_scale = footprint_scale
+    if huge_page_fraction is not None:
+        config.huge_page_fraction = huge_page_fraction
+    if params:
+        config.params.update(params)
+    info = _BY_NAME[name]
+    workload = info.cls(config)
+    # Default the huge-page mix to the workload's characteristic value when the
+    # caller did not override it explicitly.
+    if config.huge_page_fraction is None:
+        config.huge_page_fraction = workload.default_huge_page_fraction
+    return workload

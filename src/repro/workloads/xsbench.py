@@ -1,0 +1,64 @@
+"""XSBench-like Monte Carlo neutron-transport macroscopic cross-section lookups.
+
+Each lookup picks a random particle energy, binary-searches the unionized
+energy grid, and then gathers per-nuclide cross-section rows for the nuclides
+of a randomly chosen material.  The binary search touches a shrinking window of
+the grid (moderate locality at the top of the tree, poor at the bottom); the
+nuclide gathers are irregular rows of a multi-hundred-megabyte table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig, mix_hash
+
+IP_GRID = 0x420100
+IP_NUCLIDE = 0x420110
+IP_MATERIAL = 0x420120
+GRID_ENTRY_BYTES = 16
+NUCLIDE_ROW_BYTES = 96
+
+
+class XSBench(Workload):
+    """Unionized-grid cross-section lookups (the XS workload)."""
+
+    name = "xs"
+    default_huge_page_fraction = 0.4
+
+    def __init__(self, config: WorkloadConfig):
+        super().__init__(config)
+        params = config.params
+        self.grid_points = int(params.get("grid_points", self.scaled(1_000_000)))
+        self.num_nuclides = int(params.get("num_nuclides", 355))
+        self.nuclide_grid_points = int(params.get("nuclide_grid_points", self.scaled(3_000)))
+        self.nuclides_per_lookup = int(params.get("nuclides_per_lookup", 6))
+        self.grid_base = self.region(self.grid_points * GRID_ENTRY_BYTES)
+        self.nuclide_base = self.region(
+            self.num_nuclides * self.nuclide_grid_points * NUCLIDE_ROW_BYTES)
+        self.material_base = self.region(4096 * 64)
+
+    def _binary_search_refs(self, target: int) -> Iterator[MemoryRef]:
+        low, high = 0, self.grid_points - 1
+        while low < high:
+            mid = (low + high) // 2
+            yield self.ref(IP_GRID, self.grid_base + mid * GRID_ENTRY_BYTES)
+            if mid < target:
+                low = mid + 1
+            else:
+                high = mid
+
+    def generate(self) -> Iterator[MemoryRef]:
+        lookup = 0
+        while True:
+            lookup += 1
+            target = self.rng.randrange(self.grid_points)
+            yield from self._binary_search_refs(target)
+            material = self.rng.randrange(12)
+            yield self.ref(IP_MATERIAL, self.material_base + material * 64)
+            for i in range(self.nuclides_per_lookup):
+                nuclide = mix_hash(material, i, lookup) % self.num_nuclides
+                row = mix_hash(target, nuclide) % self.nuclide_grid_points
+                addr = (self.nuclide_base
+                        + (nuclide * self.nuclide_grid_points + row) * NUCLIDE_ROW_BYTES)
+                yield self.ref(IP_NUCLIDE, addr)

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import LRUPolicy, SRRIPPolicy
+from repro.common.pressure import PressureMonitor
+from repro.memory.page_allocator import VirtualMemoryManager
+from repro.memory.page_table import RadixPageTable
+from repro.memory.physical import PhysicalMemory
+from repro.sim.presets import make_system_config, make_workload_config
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def physical() -> PhysicalMemory:
+    return PhysicalMemory(size_bytes=4 * 1024 * 1024 * 1024)
+
+
+@pytest.fixture
+def page_table(physical) -> RadixPageTable:
+    return RadixPageTable(physical, asid=0)
+
+
+@pytest.fixture
+def vmm(physical) -> VirtualMemoryManager:
+    return VirtualMemoryManager(physical, asid=0, huge_page_fraction=0.0)
+
+
+@pytest.fixture
+def vmm_huge(physical) -> VirtualMemoryManager:
+    return VirtualMemoryManager(physical, asid=0, huge_page_fraction=1.0)
+
+
+@pytest.fixture
+def small_cache() -> Cache:
+    """A tiny 4-set, 4-way cache with LRU replacement."""
+    return Cache("test", size_bytes=4 * 4 * 64, associativity=4, latency=10,
+                 replacement_policy=LRUPolicy())
+
+
+@pytest.fixture
+def srrip_cache() -> Cache:
+    return Cache("test-srrip", size_bytes=4 * 4 * 64, associativity=4, latency=10,
+                 replacement_policy=SRRIPPolicy())
+
+
+@pytest.fixture
+def high_pressure() -> PressureMonitor:
+    """A pressure monitor reporting high translation pressure and low data locality."""
+    monitor = PressureMonitor(window_instructions=100)
+    monitor.record_instructions(100)
+    for _ in range(50):
+        monitor.record_l2_tlb_miss()
+        monitor.record_l2_cache_miss()
+    monitor.record_instructions(100)
+    return monitor
+
+
+@pytest.fixture
+def low_pressure() -> PressureMonitor:
+    monitor = PressureMonitor(window_instructions=100)
+    monitor.record_instructions(200)
+    return monitor
+
+
+def build_tiny_simulator(system_name: str = "radix", workload: str = "rnd",
+                         max_refs: int = 600, hardware_scale: int = 16,
+                         warmup_fraction: float = 0.0) -> Simulator:
+    """A very small end-to-end simulation used by integration tests."""
+    system_config = make_system_config(system_name, hardware_scale=hardware_scale)
+    workload_config = make_workload_config(workload, max_refs=max_refs, seed=7)
+    return Simulator.from_configs(system_config, workload_config,
+                                  warmup_fraction=warmup_fraction)
+
+
+@pytest.fixture
+def tiny_simulator_factory():
+    return build_tiny_simulator

@@ -1,0 +1,215 @@
+"""Unit tests for repro.baselines (POM-TLB, large TLBs) and repro.analysis."""
+
+import pytest
+
+from repro.analysis.cacti import (
+    PAPER_REALISTIC_LATENCIES,
+    realistic_l2_tlb_sweep,
+    tlb_access_latency,
+    tlb_area_mm2,
+    tlb_power_mw,
+)
+from repro.analysis.mcpat import victima_overheads
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    histogram_fraction,
+    normalize,
+    percent_reduction,
+    reuse_buckets,
+    speedup,
+    weighted_mean,
+)
+from repro.analysis.report import format_markdown_table, format_series, format_table
+from repro.baselines.large_tlb import make_baseline_l2_tlb, make_l3_tlb, make_large_l2_tlb
+from repro.baselines.pom_tlb import POMTLB
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.addresses import PageSize
+from repro.memory.dram import DramModel
+from repro.memory.physical import PhysicalMemory
+
+
+def make_hierarchy():
+    l1i = Cache("L1I", 1024, 4, 4)
+    l1d = Cache("L1D", 1024, 4, 4)
+    l2 = Cache("L2", 8192, 8, 16)
+    return CacheHierarchy(l1i, l1d, l2, None, DramModel())
+
+
+class TestPOMTLB:
+    def test_requires_contiguous_reservation(self):
+        physical = PhysicalMemory(4 << 30)
+        pom = POMTLB(physical, make_hierarchy(), entries=1024, associativity=16)
+        assert physical.reserved_regions[0][2] == "pom-tlb"
+        assert pom.size_bytes == 1024 * 16
+
+    def test_miss_then_hit(self, page_table):
+        physical = PhysicalMemory(4 << 30)
+        pom = POMTLB(physical, make_hierarchy(), entries=1024, associativity=16)
+        pte = page_table.map_page(vpn=0x123, pfn=0x5)
+        found, latency = pom.lookup(0x123 << 12, asid=0)
+        assert found is None and latency > 0
+        pom.insert(pte, asid=0)
+        found, latency = pom.lookup(0x123 << 12, asid=0)
+        assert found is pte
+        assert pom.stats.hits == 1
+
+    def test_lookup_latency_uses_memory_hierarchy(self, page_table):
+        physical = PhysicalMemory(4 << 30)
+        hierarchy = make_hierarchy()
+        pom = POMTLB(physical, hierarchy, entries=1024, associativity=16)
+        _, first_latency = pom.lookup(0x1000, asid=0)
+        _, second_latency = pom.lookup(0x1000, asid=0)
+        assert second_latency <= first_latency  # the set block is now cached
+
+    def test_eviction_within_set(self, page_table):
+        physical = PhysicalMemory(4 << 30)
+        pom = POMTLB(physical, make_hierarchy(), entries=32, associativity=2)
+        sets = pom.num_sets
+        vpns = [i * sets for i in range(3)]
+        for vpn in vpns:
+            pom.insert(page_table.map_page(vpn=vpn, pfn=vpn + 1), asid=0)
+        assert pom.stats.evictions == 1
+        assert pom.occupancy() == 2
+
+    def test_contains(self, page_table):
+        physical = PhysicalMemory(4 << 30)
+        pom = POMTLB(physical, make_hierarchy(), entries=64, associativity=4)
+        pte = page_table.map_page(vpn=0x1, pfn=0x1)
+        assert not pom.contains(0x1 << 12, asid=0)
+        pom.insert(pte, asid=0)
+        assert pom.contains(0x1 << 12, asid=0)
+
+    def test_2m_pages(self, page_table):
+        physical = PhysicalMemory(4 << 30)
+        pom = POMTLB(physical, make_hierarchy(), entries=64, associativity=4)
+        pte = page_table.map_page(vpn=0x3, pfn=0x9, page_size=PageSize.SIZE_2M)
+        pom.insert(pte, asid=0)
+        found, _ = pom.lookup((0x3 << 21) + 999, asid=0)
+        assert found is pte
+
+
+class TestLargeTLBs:
+    def test_baseline_l2_tlb(self):
+        tlb = make_baseline_l2_tlb()
+        assert tlb.entries == 1536 and tlb.latency == 12
+
+    def test_optimistic_keeps_baseline_latency(self):
+        tlb = make_large_l2_tlb(64 * 1024, optimistic=True)
+        assert tlb.latency == 12
+        assert tlb.entries == 64 * 1024
+
+    def test_realistic_uses_cacti_latency(self):
+        tlb = make_large_l2_tlb(64 * 1024, optimistic=False)
+        assert tlb.latency == 39
+
+    def test_l3_tlb(self):
+        tlb = make_l3_tlb(latency=25)
+        assert tlb.latency == 25 and tlb.entries == 64 * 1024
+
+
+class TestCacti:
+    def test_paper_quoted_points(self):
+        for entries, latency in PAPER_REALISTIC_LATENCIES.items():
+            assert tlb_access_latency(entries) == latency
+
+    def test_latency_monotonic_in_size(self):
+        sizes = [1536, 4096, 16384, 65536, 262144]
+        latencies = [tlb_access_latency(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_baseline_latency(self):
+        assert tlb_access_latency(1536) == 12
+        assert tlb_access_latency(512) == 12
+
+    def test_area_and_power_scale_with_size(self):
+        assert tlb_area_mm2(64 * 1024) > 10 * tlb_area_mm2(1536)
+        assert tlb_power_mw(64 * 1024) > 10 * tlb_power_mw(1536)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            tlb_access_latency(0)
+        with pytest.raises(ValueError):
+            tlb_area_mm2(-1)
+
+    def test_sweep_returns_copy(self):
+        sweep = realistic_l2_tlb_sweep()
+        sweep[999] = 1
+        assert 999 not in PAPER_REALISTIC_LATENCIES
+
+
+class TestMcpat:
+    def test_overheads_match_paper_order_of_magnitude(self):
+        report = victima_overheads()
+        assert report.extra_storage_bytes == 8 * 1024
+        assert 0.2 <= report.storage_overhead_of_l2 * 100 <= 0.6
+        assert 0.01 <= report.area_overhead_fraction * 100 <= 0.1
+        assert 0.02 <= report.power_overhead_fraction * 100 <= 0.2
+
+    def test_overhead_scales_with_cache_size(self):
+        small = victima_overheads(l2_cache_bytes=1 * 1024 * 1024)
+        large = victima_overheads(l2_cache_bytes=8 * 1024 * 1024)
+        assert large.extra_storage_bytes == 8 * small.extra_storage_bytes
+
+    def test_as_dict(self):
+        data = victima_overheads().as_dict()
+        assert "area_overhead_percent" in data and "power_overhead_percent" in data
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_percent_reduction(self):
+        assert percent_reduction(100, 50) == 50.0
+        assert percent_reduction(0, 50) == 0.0
+
+    def test_normalize(self):
+        assert normalize(50, 100) == 0.5
+        assert normalize(50, 0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_histogram_fraction(self):
+        histogram = {0: 5, 3: 3, 25: 2}
+        assert histogram_fraction(histogram, 0, 1) == 0.5
+        assert histogram_fraction(histogram, 20, float("inf")) == 0.2
+        assert histogram_fraction({}, 0, 1) == 0.0
+
+    def test_reuse_buckets_sum_to_one(self):
+        buckets = reuse_buckets({0: 10, 2: 5, 7: 3, 15: 1, 100: 1})
+        assert sum(buckets.values()) == pytest.approx(1.0)
+        assert buckets["0"] == 0.5
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1, 3], [1, 1]) == 2.0
+        assert weighted_mean([], []) == 0.0
+        with pytest.raises(ValueError):
+            weighted_mean([1], [1, 2])
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_markdown_table(self):
+        markdown = format_markdown_table(["a"], [[1]])
+        assert markdown.splitlines()[1] == "|---|"
+
+    def test_format_series(self):
+        assert format_series("s", {"x": 1}) == "s: x=1"

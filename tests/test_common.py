@@ -1,0 +1,183 @@
+"""Unit tests for repro.common: addresses, counters, pressure, errors."""
+
+import pytest
+
+from repro.common.addresses import (
+    CACHE_BLOCK_SIZE,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PageSize,
+    align_down,
+    align_up,
+    block_address,
+    block_number,
+    block_offset,
+    canonical,
+    is_power_of_two,
+    page_number,
+    page_offset,
+    radix_indices,
+    vpn_to_vaddr,
+)
+from repro.common.counters import EventRateMonitor, SaturatingCounter
+from repro.common.errors import ConfigurationError, ReproError, TranslationFault
+from repro.common.pressure import PressureMonitor
+
+
+class TestPageSize:
+    def test_values_are_byte_sizes(self):
+        assert int(PageSize.SIZE_4K) == PAGE_SIZE_4K
+        assert int(PageSize.SIZE_2M) == PAGE_SIZE_2M
+
+    def test_offset_bits(self):
+        assert PageSize.SIZE_4K.offset_bits == 12
+        assert PageSize.SIZE_2M.offset_bits == 21
+
+    def test_labels(self):
+        assert PageSize.SIZE_4K.label == "4KB"
+        assert PageSize.SIZE_2M.label == "2MB"
+
+
+class TestAddressArithmetic:
+    def test_page_number_4k(self):
+        assert page_number(0x1234_5678, PageSize.SIZE_4K) == 0x1234_5678 >> 12
+
+    def test_page_number_2m(self):
+        assert page_number(0x1234_5678, PageSize.SIZE_2M) == 0x1234_5678 >> 21
+
+    def test_page_offset(self):
+        assert page_offset(0x1000 + 0x123, PageSize.SIZE_4K) == 0x123
+
+    def test_vpn_roundtrip(self):
+        vaddr = 0x7F12_3456_7000
+        vpn = page_number(vaddr)
+        assert vpn_to_vaddr(vpn) == vaddr & ~0xFFF
+
+    def test_block_address_aligns(self):
+        assert block_address(0x1234) == 0x1234 & ~(CACHE_BLOCK_SIZE - 1)
+        assert block_address(0x1234) % CACHE_BLOCK_SIZE == 0
+
+    def test_block_number_and_offset(self):
+        addr = 0x1000 + 65
+        assert block_number(addr) == addr >> 6
+        assert block_offset(addr) == 1
+
+    def test_radix_indices_width(self):
+        indices = radix_indices((1 << 48) - 1)
+        assert all(0 <= i < 512 for i in indices)
+
+    def test_radix_indices_reconstruct(self):
+        vaddr = 0x0000_7ABC_DEF1_2000
+        pml4, pdpt, pd, pt = radix_indices(vaddr)
+        rebuilt = (pml4 << 39) | (pdpt << 30) | (pd << 21) | (pt << 12)
+        assert rebuilt == vaddr & ~0xFFF
+
+    def test_canonical_masks_to_48_bits(self):
+        assert canonical(1 << 60) == 0
+        assert canonical((1 << 48) | 5) == 5
+
+    def test_align_up_down(self):
+        assert align_up(0x1001, 0x1000) == 0x2000
+        assert align_down(0x1FFF, 0x1000) == 0x1000
+        assert align_up(0x2000, 0x1000) == 0x2000
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+
+
+class TestSaturatingCounter:
+    def test_saturates_at_max(self):
+        counter = SaturatingCounter(bits=3)
+        for _ in range(20):
+            counter.increment()
+        assert int(counter) == 7
+        assert counter.is_saturated()
+
+    def test_never_negative(self):
+        counter = SaturatingCounter(bits=4, value=2)
+        counter.decrement(10)
+        assert int(counter) == 0
+
+    def test_increment_by_amount(self):
+        counter = SaturatingCounter(bits=4)
+        counter.increment(5)
+        assert int(counter) == 5
+
+    def test_initial_value_clamped(self):
+        counter = SaturatingCounter(bits=2, value=100)
+        assert int(counter) == 3
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=3, value=5)
+        counter.reset()
+        assert int(counter) == 0
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+
+class TestEventRateMonitor:
+    def test_rate_before_window_uses_running_average(self):
+        monitor = EventRateMonitor(window_instructions=1000)
+        monitor.record_instructions(100)
+        monitor.record_event(5)
+        assert monitor.rate_per_kilo_instructions == pytest.approx(50.0)
+
+    def test_rate_after_window(self):
+        monitor = EventRateMonitor(window_instructions=100)
+        for _ in range(10):
+            monitor.record_event()
+        monitor.record_instructions(100)
+        assert monitor.rate_per_kilo_instructions == pytest.approx(100.0)
+
+    def test_totals(self):
+        monitor = EventRateMonitor(window_instructions=100)
+        monitor.record_event(3)
+        monitor.record_instructions(50)
+        assert monitor.total_events == 3
+        assert monitor.total_instructions == 50
+
+    def test_zero_instructions_rate_is_zero(self):
+        monitor = EventRateMonitor()
+        assert monitor.rate_per_kilo_instructions == 0.0
+
+
+class TestPressureMonitor:
+    def test_translation_pressure_threshold(self):
+        monitor = PressureMonitor(window_instructions=100, tlb_pressure_threshold=5.0)
+        monitor.record_instructions(100)
+        assert not monitor.translation_pressure_high
+        for _ in range(10):
+            monitor.record_l2_tlb_miss()
+        monitor.record_instructions(100)
+        assert monitor.translation_pressure_high
+
+    def test_data_locality_signal(self):
+        monitor = PressureMonitor(window_instructions=100, cache_pressure_threshold=5.0)
+        for _ in range(10):
+            monitor.record_l2_cache_miss()
+        monitor.record_instructions(100)
+        assert monitor.data_locality_low
+
+    def test_signals_independent(self):
+        monitor = PressureMonitor(window_instructions=100)
+        for _ in range(10):
+            monitor.record_l2_tlb_miss()
+        monitor.record_instructions(100)
+        assert monitor.translation_pressure_high
+        assert not monitor.data_locality_low
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(TranslationFault, ReproError)
+
+    def test_translation_fault_message(self):
+        fault = TranslationFault(0xDEAD000, asid=3)
+        assert "0xdead000" in str(fault)
+        assert fault.asid == 3

@@ -1,0 +1,223 @@
+"""Unit tests for repro.memory: physical frames, DRAM, page table, VM manager."""
+
+import pytest
+
+from repro.common.addresses import PAGE_SIZE_2M, PAGE_SIZE_4K, PageSize
+from repro.common.errors import OutOfPhysicalMemory, TranslationFault
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.page_table import LEAF_LEVEL_2M, LEAF_LEVEL_4K, RadixPageTable
+from repro.memory.page_allocator import VirtualMemoryManager
+from repro.memory.physical import PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_4k_frames_are_aligned_and_distinct(self, physical):
+        frames = [physical.allocate_frame(PageSize.SIZE_4K) for _ in range(16)]
+        assert len(set(frames)) == 16
+        assert all(f % PAGE_SIZE_4K == 0 for f in frames)
+
+    def test_2m_frames_are_aligned(self, physical):
+        frame = physical.allocate_frame(PageSize.SIZE_2M)
+        assert frame % PAGE_SIZE_2M == 0
+
+    def test_free_and_reallocate(self, physical):
+        frame = physical.allocate_frame()
+        physical.free_frame(frame)
+        assert physical.allocate_frame() == frame
+
+    def test_allocated_bytes_tracking(self, physical):
+        physical.allocate_frame(PageSize.SIZE_4K)
+        physical.allocate_frame(PageSize.SIZE_2M)
+        assert physical.allocated_bytes == PAGE_SIZE_4K + PAGE_SIZE_2M
+
+    def test_reserve_contiguous_region(self, physical):
+        base = physical.reserve_contiguous(10 * 1024 * 1024, label="pom")
+        assert base % PAGE_SIZE_2M == 0
+        assert physical.reserved_regions[0][2] == "pom"
+
+    def test_out_of_memory(self):
+        tiny = PhysicalMemory(size_bytes=2 * PAGE_SIZE_2M)
+        tiny.allocate_frame(PageSize.SIZE_2M)
+        tiny.allocate_frame(PageSize.SIZE_2M)
+        with pytest.raises(OutOfPhysicalMemory):
+            tiny.allocate_frame(PageSize.SIZE_4K)
+
+    def test_size_must_be_2m_multiple(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(size_bytes=3 * 1024 * 1024 + 1)
+
+    def test_utilisation(self, physical):
+        assert physical.utilisation == 0.0
+        physical.allocate_frame(PageSize.SIZE_2M)
+        assert physical.utilisation > 0.0
+
+
+class TestDramModel:
+    def test_row_miss_then_hit(self):
+        dram = DramModel(DramConfig(row_hit_latency=100, row_miss_latency=200))
+        first = dram.access(0x1000)
+        # Same bank (block number differs by num_banks) and same 8 KB row.
+        second = dram.access(0x1000 + 64 * 16)
+        assert first == 200
+        assert second == 100
+
+    def test_different_rows_miss(self):
+        dram = DramModel(DramConfig(row_hit_latency=100, row_miss_latency=200,
+                                    row_size_bytes=8192, num_banks=1,
+                                    channel_interleave_bits=6))
+        dram.access(0x0)
+        assert dram.access(0x10000) == 200
+
+    def test_stats(self):
+        dram = DramModel()
+        dram.access(0x0)
+        dram.access(0x40, write=True)
+        assert dram.stats.accesses == 2
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+
+    def test_reset_stats(self):
+        dram = DramModel()
+        dram.access(0x0)
+        dram.reset_stats()
+        assert dram.stats.accesses == 0
+
+
+class TestRadixPageTable:
+    def test_map_and_translate(self, page_table):
+        pte = page_table.map_page(vpn=0x12345, pfn=0x777, page_size=PageSize.SIZE_4K)
+        vaddr = (0x12345 << 12) | 0xABC
+        found = page_table.translate(vaddr)
+        assert found is pte
+        assert found.translate(vaddr) == (0x777 << 12) | 0xABC
+
+    def test_unmapped_raises(self, page_table):
+        with pytest.raises(TranslationFault):
+            page_table.translate(0xDEAD_BEEF_000)
+
+    def test_walk_has_four_levels_for_4k(self, page_table):
+        page_table.map_page(vpn=0x12345, pfn=0x1, page_size=PageSize.SIZE_4K)
+        path = page_table.walk(0x12345 << 12)
+        assert path.num_levels == LEAF_LEVEL_4K + 1 == 4
+        assert [step.level for step in path.steps] == [0, 1, 2, 3]
+
+    def test_walk_has_three_levels_for_2m(self, page_table):
+        page_table.map_page(vpn=0x60, pfn=0x2, page_size=PageSize.SIZE_2M)
+        path = page_table.walk(0x60 << 21)
+        assert path.num_levels == LEAF_LEVEL_2M + 1 == 3
+
+    def test_walk_entry_addresses_point_into_nodes(self, page_table):
+        page_table.map_page(vpn=0x999, pfn=0x3)
+        path = page_table.walk(0x999 << 12)
+        for step in path.steps:
+            assert step.node_paddr <= step.entry_paddr < step.node_paddr + 4096
+
+    def test_remap_invalidates_old_entry(self, page_table):
+        old = page_table.map_page(vpn=0x10, pfn=0x1)
+        new = page_table.map_page(vpn=0x10, pfn=0x2)
+        assert not old.valid
+        assert page_table.translate(0x10 << 12) is new
+        assert page_table.num_leaf_entries == 1
+
+    def test_unmap(self, page_table):
+        page_table.map_page(vpn=0x10, pfn=0x1)
+        removed = page_table.unmap_page(0x10 << 12)
+        assert removed is not None
+        assert not page_table.is_mapped(0x10 << 12)
+        assert page_table.unmap_page(0x10 << 12) is None
+
+    def test_pte_cluster_contains_eight_slots(self, page_table):
+        base_vpn = 0x1000
+        for i in range(8):
+            page_table.map_page(vpn=base_vpn + i, pfn=0x100 + i)
+        pte = page_table.translate((base_vpn + 3) << 12)
+        cluster = page_table.pte_cluster(pte)
+        assert len(cluster) == 8
+        assert all(entry is not None for entry in cluster)
+        assert cluster[3] is pte
+
+    def test_pte_cluster_sparse(self, page_table):
+        pte = page_table.map_page(vpn=0x2000, pfn=0x1)
+        cluster = page_table.pte_cluster(pte)
+        assert cluster[0] is pte
+        assert cluster.count(None) == 7
+
+    def test_cluster_block_paddr_is_block_aligned(self, page_table):
+        pte = page_table.map_page(vpn=0x2003, pfn=0x1)
+        assert pte.cluster_block_paddr % 64 == 0
+        assert pte.cluster_base_vpn == 0x2000
+
+    def test_all_entries(self, page_table):
+        for vpn in (0x1, 0x200, 0x40000):
+            page_table.map_page(vpn=vpn, pfn=vpn)
+        assert len(page_table.all_entries()) == 3
+
+    def test_page_table_size_grows_with_nodes(self, page_table):
+        before = page_table.size_bytes
+        page_table.map_page(vpn=0x1, pfn=0x1)
+        page_table.map_page(vpn=1 << 27, pfn=0x2)  # different PML4 subtree
+        assert page_table.size_bytes > before
+
+    def test_pte_feature_vector_has_ten_entries(self, page_table):
+        pte = page_table.map_page(vpn=0x5, pfn=0x5)
+        assert len(pte.features.as_vector()) == 10
+
+    def test_record_walk_updates_counters(self, page_table):
+        pte = page_table.map_page(vpn=0x5, pfn=0x5)
+        pte.record_walk(cycles=100, dram_accesses=2, pwc_hits=1)
+        assert pte.ptw_frequency == 1
+        assert pte.ptw_cost == 2
+        assert pte.total_ptw_cycles == 100
+
+
+class TestVirtualMemoryManager:
+    def test_demand_mapping_is_stable(self, vmm):
+        pte1 = vmm.ensure_mapped(0x1234_5000)
+        pte2 = vmm.ensure_mapped(0x1234_5FFF)
+        assert pte1 is pte2
+        assert vmm.stats.demand_faults == 1
+
+    def test_all_4k_when_fraction_zero(self, vmm):
+        for i in range(16):
+            pte = vmm.ensure_mapped(0x4000_0000 + i * PAGE_SIZE_2M)
+            assert pte.page_size is PageSize.SIZE_4K
+        assert vmm.stats.pages_2m == 0
+
+    def test_all_huge_when_fraction_one(self, vmm_huge):
+        pte = vmm_huge.ensure_mapped(0x4000_0123)
+        assert pte.page_size is PageSize.SIZE_2M
+        assert vmm_huge.stats.pages_2m == 1
+
+    def test_huge_decision_is_deterministic(self, physical):
+        a = VirtualMemoryManager(physical, asid=0, huge_page_fraction=0.5)
+        b = VirtualMemoryManager(PhysicalMemory(1 << 30), asid=0, huge_page_fraction=0.5)
+        addresses = [0x1000_0000 + i * PAGE_SIZE_2M for i in range(32)]
+        sizes_a = [a.ensure_mapped(addr).page_size for addr in addresses]
+        sizes_b = [b.ensure_mapped(addr).page_size for addr in addresses]
+        assert sizes_a == sizes_b
+        assert PageSize.SIZE_2M in sizes_a and PageSize.SIZE_4K in sizes_a
+
+    def test_translate_returns_physical_address(self, vmm):
+        paddr = vmm.translate(0x5555_1234)
+        pte = vmm.ensure_mapped(0x5555_1234)
+        assert paddr == pte.translate(0x5555_1234)
+
+    def test_prefault_range(self, vmm):
+        mapped = vmm.prefault_range(0x9000_0000, 64 * 1024)
+        assert mapped == 16
+        assert vmm.footprint_bytes == 64 * 1024
+
+    def test_prefault_range_with_huge_pages(self, vmm_huge):
+        mapped = vmm_huge.prefault_range(0x0, 4 * PAGE_SIZE_2M)
+        assert mapped == 4
+
+    def test_unmap_releases_frame(self, vmm):
+        vmm.ensure_mapped(0x7000_0000)
+        before = vmm.physical.allocated_4k_frames
+        vmm.unmap(0x7000_0000)
+        assert vmm.physical.allocated_4k_frames == before - 1
+        assert vmm.unmap(0x7000_0000) is None
+
+    def test_invalid_fraction_rejected(self, physical):
+        with pytest.raises(ValueError):
+            VirtualMemoryManager(physical, huge_page_fraction=1.5)

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import BlockKind, CacheBlock, data_key
+from repro.cache.cache import Cache
+from repro.cache.replacement import SRRIPPolicy
+from repro.common.addresses import PageSize, page_number, radix_indices, vpn_to_vaddr
+from repro.common.counters import SaturatingCounter
+from repro.analysis.metrics import geometric_mean, reuse_buckets
+from repro.memory.page_table import RadixPageTable
+from repro.memory.physical import PhysicalMemory
+from repro.mmu.tlb import TLB
+
+BOTH = (PageSize.SIZE_4K, PageSize.SIZE_2M)
+MAX_VPN_4K = (1 << 36) - 1
+
+common_settings = settings(max_examples=50, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------- #
+# Address arithmetic
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(vaddr=st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_radix_indices_reconstruct_the_vpn(vaddr):
+    pml4, pdpt, pd, pt = radix_indices(vaddr)
+    rebuilt = (pml4 << 39) | (pdpt << 30) | (pd << 21) | (pt << 12)
+    assert rebuilt == vaddr & ~0xFFF
+    assert all(0 <= index < 512 for index in (pml4, pdpt, pd, pt))
+
+
+@common_settings
+@given(vaddr=st.integers(min_value=0, max_value=(1 << 48) - 1),
+       page_size=st.sampled_from(list(PageSize)))
+def test_page_number_roundtrip(vaddr, page_size):
+    vpn = page_number(vaddr, page_size)
+    base = vpn_to_vaddr(vpn, page_size)
+    assert base <= vaddr < base + int(page_size)
+
+
+# --------------------------------------------------------------------------- #
+# Saturating counters
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(bits=st.integers(min_value=1, max_value=8),
+       operations=st.lists(st.integers(min_value=-5, max_value=5), max_size=50))
+def test_saturating_counter_stays_in_range(bits, operations):
+    counter = SaturatingCounter(bits)
+    for op in operations:
+        if op >= 0:
+            counter.increment(op)
+        else:
+            counter.decrement(-op)
+        assert 0 <= int(counter) <= counter.max_value
+
+
+# --------------------------------------------------------------------------- #
+# Page table
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(mappings=st.dictionaries(
+    keys=st.integers(min_value=0, max_value=MAX_VPN_4K),
+    values=st.integers(min_value=1, max_value=(1 << 30)),
+    min_size=1, max_size=30))
+def test_page_table_map_translate_roundtrip(mappings):
+    table = RadixPageTable(PhysicalMemory(8 << 30), asid=0)
+    for vpn, pfn in mappings.items():
+        table.map_page(vpn, pfn, PageSize.SIZE_4K)
+    assert table.num_leaf_entries == len(mappings)
+    for vpn, pfn in mappings.items():
+        vaddr = (vpn << 12) | 0x7
+        pte = table.translate(vaddr)
+        assert pte.pfn == pfn
+        assert pte.translate(vaddr) == (pfn << 12) | 0x7
+        # The walk must end at the same leaf and have at most four steps.
+        path = table.walk(vaddr)
+        assert path.pte is pte
+        assert 1 <= path.num_levels <= 4
+
+
+@common_settings
+@given(vpns=st.lists(st.integers(min_value=0, max_value=MAX_VPN_4K),
+                     min_size=1, max_size=20, unique=True))
+def test_pte_cluster_is_consistent(vpns):
+    table = RadixPageTable(PhysicalMemory(8 << 30), asid=0)
+    for vpn in vpns:
+        table.map_page(vpn, vpn + 1, PageSize.SIZE_4K)
+    for vpn in vpns:
+        pte = table.translate(vpn << 12)
+        cluster = table.pte_cluster(pte)
+        assert len(cluster) == 8
+        slot = vpn & 7
+        assert cluster[slot] is pte
+        for i, entry in enumerate(cluster):
+            if entry is not None:
+                assert entry.vpn == pte.cluster_base_vpn + i
+
+
+# --------------------------------------------------------------------------- #
+# Caches
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                          max_size=200))
+def test_cache_occupancy_never_exceeds_capacity(addresses):
+    cache = Cache("prop", size_bytes=8 * 2 * 64, associativity=2, latency=1,
+                  replacement_policy=SRRIPPolicy())
+    for addr in addresses:
+        cache.insert(CacheBlock(key=data_key(addr), kind=BlockKind.DATA))
+        assert cache.occupancy() <= cache.total_blocks
+    # Every resident block has a unique tag.
+    tags = [block.tag for block in cache.resident_blocks()]
+    assert len(tags) == len(set(tags))
+    # The most recently inserted block is always resident.
+    assert cache.contains(data_key(addresses[-1]))
+
+
+@common_settings
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1,
+                          max_size=100))
+def test_cache_stats_are_consistent(addresses):
+    cache = Cache("prop", size_bytes=4 * 4 * 64, associativity=4, latency=1)
+    for addr in addresses:
+        if cache.lookup(data_key(addr)) is None:
+            cache.insert(CacheBlock(key=data_key(addr), kind=BlockKind.DATA))
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.fills >= stats.evictions
+
+
+# --------------------------------------------------------------------------- #
+# TLBs
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(vpns=st.lists(st.integers(min_value=0, max_value=1 << 24), min_size=1,
+                     max_size=100))
+def test_tlb_occupancy_and_most_recent_entry(vpns):
+    table = RadixPageTable(PhysicalMemory(8 << 30), asid=0)
+    tlb = TLB("prop", entries=16, associativity=4, latency=1, page_sizes=BOTH)
+    for vpn in vpns:
+        pte = table.map_page(vpn, vpn + 1, PageSize.SIZE_4K)
+        tlb.insert(pte)
+        assert tlb.occupancy() <= tlb.entries
+        assert tlb.lookup(vpn << 12, asid=0) is not None
+    assert tlb.stats.insertions >= tlb.stats.evictions
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(values=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                       max_size=20))
+def test_geometric_mean_is_bounded_by_extremes(values):
+    mean = geometric_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@common_settings
+@given(histogram=st.dictionaries(keys=st.integers(min_value=0, max_value=200),
+                                 values=st.integers(min_value=1, max_value=50),
+                                 min_size=1, max_size=20))
+def test_reuse_buckets_partition_the_histogram(histogram):
+    buckets = reuse_buckets(histogram)
+    assert abs(sum(buckets.values()) - 1.0) < 1e-9
+    assert all(0.0 <= value <= 1.0 for value in buckets.values())

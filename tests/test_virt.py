@@ -1,0 +1,187 @@
+"""Unit tests for repro.virt: shadow table, nested walker, virtualized MMU."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.replacement import TLBAwareSRRIPPolicy
+from repro.common.addresses import PageSize
+from repro.common.pressure import PressureMonitor
+from repro.core.ptw_cp import ComparatorPTWCostPredictor
+from repro.core.victima import VictimaController
+from repro.memory.dram import DramModel
+from repro.memory.page_allocator import VirtualMemoryManager
+from repro.memory.physical import PhysicalMemory
+from repro.mmu.mmu import ServedBy
+from repro.mmu.page_walker import PageTableWalker
+from repro.mmu.pwc import PageWalkCaches
+from repro.mmu.tlb import TLB
+from repro.virt.nested import NestedPageTableWalker
+from repro.virt.shadow import ShadowPageTableBuilder
+from repro.virt.virt_mmu import VirtMode, VirtualizedMMU
+
+BOTH = (PageSize.SIZE_4K, PageSize.SIZE_2M)
+
+
+def make_virt_stack(with_victima=False):
+    host_physical = PhysicalMemory(8 << 30)
+    guest_physical = PhysicalMemory(8 << 30)
+    l1i = Cache("L1I", 1024, 4, 4)
+    l1d = Cache("L1D", 1024, 4, 4)
+    pressure = PressureMonitor()
+    l2 = Cache("L2", 64 * 1024, 16, 16, replacement_policy=TLBAwareSRRIPPolicy(pressure))
+    hierarchy = CacheHierarchy(l1i, l1d, l2, None, DramModel())
+
+    guest_vmm = VirtualMemoryManager(guest_physical, asid=0, huge_page_fraction=0.0)
+    host_vmm = VirtualMemoryManager(host_physical, asid=0, huge_page_fraction=0.0)
+    host_walker = PageTableWalker(hierarchy, PageWalkCaches())
+    shadow_walker = PageTableWalker(hierarchy, PageWalkCaches())
+    shadow_builder = ShadowPageTableBuilder(host_physical, vmid=0)
+    nested_tlb = TLB("nTLB", 16, 4, 1, BOTH)
+
+    victima = None
+    if with_victima:
+        victima = VictimaController(
+            l2_cache=l2, page_table=shadow_builder.table, walker=shadow_walker,
+            predictor=ComparatorPTWCostPredictor(), pressure=pressure,
+            host_page_table=host_vmm.page_table, use_predictor=False,
+            bypass_on_low_locality=False)
+
+    nested_walker = NestedPageTableWalker(
+        guest_vmm=guest_vmm, host_vmm=host_vmm, host_walker=host_walker,
+        nested_tlb=nested_tlb, hierarchy=hierarchy, shadow_builder=shadow_builder,
+        victima=victima, vmid=0)
+
+    mmu = VirtualizedMMU(
+        l1_itlb=TLB("L1I-TLB", 16, 4, 1, BOTH),
+        l1_dtlb_4k=TLB("L1D-4K", 8, 4, 1, (PageSize.SIZE_4K,)),
+        l1_dtlb_2m=TLB("L1D-2M", 8, 4, 1, (PageSize.SIZE_2M,)),
+        l2_tlb=TLB("L2-TLB", 48, 12, 12, BOTH),
+        nested_walker=nested_walker, shadow_walker=shadow_walker, pressure=pressure,
+        mode=VirtMode.NESTED_PAGING, victima=victima, vmid=0)
+    return mmu, nested_walker, shadow_builder, victima
+
+
+class TestShadowBuilder:
+    def test_install_and_lookup(self):
+        host_physical = PhysicalMemory(4 << 30)
+        guest_physical = PhysicalMemory(4 << 30)
+        guest_vmm = VirtualMemoryManager(guest_physical, asid=0, huge_page_fraction=0.0)
+        host_vmm = VirtualMemoryManager(host_physical, asid=0, huge_page_fraction=0.0)
+        builder = ShadowPageTableBuilder(host_physical, vmid=0)
+
+        gva = 0x1234_5000
+        guest_pte = guest_vmm.ensure_mapped(gva)
+        host_pte = host_vmm.ensure_mapped(guest_pte.pfn << 12)
+        combined = builder.install(gva, guest_pte, host_pte)
+        assert builder.lookup(gva) is combined
+        assert builder.installed_pages == 1
+        # Installing again returns the same entry.
+        assert builder.install(gva, guest_pte, host_pte) is combined
+
+    def test_combined_translation_points_to_host_frame(self):
+        host_physical = PhysicalMemory(4 << 30)
+        guest_physical = PhysicalMemory(4 << 30)
+        guest_vmm = VirtualMemoryManager(guest_physical, asid=0, huge_page_fraction=0.0)
+        host_vmm = VirtualMemoryManager(host_physical, asid=0, huge_page_fraction=0.0)
+        builder = ShadowPageTableBuilder(host_physical, vmid=0)
+        gva = 0x9999_1000
+        guest_pte = guest_vmm.ensure_mapped(gva)
+        gpa = guest_pte.translate(gva)
+        host_pte = host_vmm.ensure_mapped(gpa)
+        combined = builder.install(gva, guest_pte, host_pte)
+        assert combined.translate(gva) == host_pte.translate(gpa)
+
+    def test_lookup_missing(self):
+        builder = ShadowPageTableBuilder(PhysicalMemory(1 << 30), vmid=0)
+        assert builder.lookup(0xABC_DEF0) is None
+
+
+class TestNestedWalker:
+    def test_walk_counts_host_walks(self):
+        _, walker, _, _ = make_virt_stack()
+        result = walker.walk(0x1234_5000)
+        assert result.host_walks >= 1
+        assert result.guest_memory_accesses == 4
+        assert result.latency == result.guest_latency + result.host_latency
+        assert result.combined_pte.translate(0x1234_5000) >= 0
+
+    def test_nested_tlb_reduces_host_walks(self):
+        _, walker, _, _ = make_virt_stack()
+        first = walker.walk(0x1234_5000)
+        second = walker.walk(0x1234_5000)
+        assert second.host_walks <= first.host_walks
+        assert walker.stats.nested_tlb_hits > 0
+
+    def test_walks_accumulate_stats(self):
+        _, walker, _, _ = make_virt_stack()
+        walker.walk(0x1000)
+        walker.walk(0x2000_0000)
+        assert walker.stats.walks == 2
+        assert walker.stats.mean_latency > 0
+
+    def test_install_shadow_mapping_is_untimed(self):
+        _, walker, builder, _ = make_virt_stack()
+        combined = walker.install_shadow_mapping(0x7777_0000)
+        assert builder.lookup(0x7777_0000) is combined
+        assert walker.stats.walks == 0
+
+    def test_victima_nested_blocks_skip_host_walks(self):
+        _, walker, _, victima = make_virt_stack(with_victima=True)
+        gpa_probe_target = None
+        first = walker.walk(0x5000_0000)
+        assert victima.stats.nested_insertions > 0
+        # Clear the nested TLB so the next walk must use the nested TLB blocks.
+        walker.nested_tlb.invalidate_all()
+        second = walker.walk(0x5000_0000)
+        assert second.host_walks < first.host_walks or victima.stats.nested_block_hits > 0
+
+
+class TestVirtualizedMMU:
+    def test_nested_paging_translation(self):
+        mmu, _, _, _ = make_virt_stack()
+        result = mmu.translate(0x1234_5678)
+        assert result.l2_tlb_miss and result.page_walk
+        assert "host" in result.miss_breakdown and "guest" in result.miss_breakdown
+        assert mmu.stats.guest_page_walks == 1
+        assert mmu.stats.host_page_walks >= 1
+
+    def test_l1_hit_on_repeat(self):
+        mmu, _, _, _ = make_virt_stack()
+        mmu.translate(0x1234_5678)
+        result = mmu.translate(0x1234_5000)
+        assert result.served_by is ServedBy.L1_TLB
+
+    def test_shadow_paging_mode_has_no_host_walks(self):
+        mmu, _, _, _ = make_virt_stack()
+        mmu.mode = VirtMode.SHADOW_PAGING
+        result = mmu.translate(0x1234_5678)
+        assert result.page_walk
+        assert mmu.stats.host_page_walks == 0
+        assert mmu.stats.shadow_walks == 1
+        assert "guest" in result.miss_breakdown and "host" not in result.miss_breakdown
+
+    def test_victima_block_hit_skips_walk(self):
+        mmu, _, _, victima = make_virt_stack(with_victima=True)
+        mmu.translate(0x1234_5678)
+        # Flush the TLB hierarchy so the next translation must consult the L2 cache.
+        mmu.l1_dtlb_4k.invalidate_all()
+        mmu.l1_dtlb_2m.invalidate_all()
+        mmu.l2_tlb.invalidate_all()
+        result = mmu.translate(0x1234_5678)
+        assert result.served_by is ServedBy.VICTIMA_BLOCK
+        assert mmu.stats.victima_hits == 1
+
+    def test_miss_latency_higher_than_native_single_walk(self):
+        mmu, _, _, _ = make_virt_stack()
+        result = mmu.translate(0x1234_5678)
+        # A 2-D walk must cost more than the guest dimension alone.
+        assert result.miss_latency > result.miss_breakdown["guest"]
+
+    def test_stats_latency_accumulation(self):
+        mmu, _, _, _ = make_virt_stack()
+        for i in range(5):
+            mmu.translate(0x4000_0000 + i * 4096)
+        assert mmu.stats.translations == 5
+        assert mmu.stats.total_miss_latency > 0
+        assert mmu.stats.mean_miss_latency > 0

@@ -1,0 +1,135 @@
+"""Unit tests for repro.workloads: generators, registry, determinism."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig, mix_hash
+from repro.workloads.graph import GraphWorkload, PageRank, TriangleCounting
+from repro.workloads.gups import RandomAccess
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload, workload_catalog
+
+
+class TestRegistry:
+    def test_eleven_workloads(self):
+        assert len(WORKLOAD_NAMES) == 11
+        assert set(WORKLOAD_NAMES) == {
+            "bc", "bfs", "cc", "gc", "pr", "sssp", "tc", "xs", "rnd", "dlrm", "gen"}
+
+    def test_catalog_metadata(self):
+        catalog = workload_catalog()
+        assert catalog["gen"].suite == "GenomicsBench"
+        assert catalog["rnd"].paper_dataset_gb == 10.0
+
+    def test_make_workload_by_name(self):
+        workload = make_workload("bfs", max_refs=100)
+        assert workload.name == "bfs"
+        assert workload.config.max_refs == 100
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("does-not-exist")
+
+    def test_make_workload_with_params(self):
+        workload = make_workload("rnd", max_refs=10, table_bytes=1 << 20)
+        assert workload.table_bytes == 1 << 20
+
+    def test_make_workload_from_config(self):
+        config = WorkloadConfig(name="pr", max_refs=50, seed=3)
+        workload = make_workload(config)
+        assert isinstance(workload, PageRank)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_same_seed_same_trace(self, name):
+        first = [r.vaddr for r in make_workload(name, max_refs=200, seed=11).bounded()]
+        second = [r.vaddr for r in make_workload(name, max_refs=200, seed=11).bounded()]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = [r.vaddr for r in make_workload("rnd", max_refs=200, seed=1).bounded()]
+        second = [r.vaddr for r in make_workload("rnd", max_refs=200, seed=2).bounded()]
+        assert first != second
+
+
+class TestReferenceStreams:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_bounded_respects_max_refs(self, name):
+        refs = list(make_workload(name, max_refs=150).bounded())
+        assert len(refs) == 150
+        assert all(isinstance(r, MemoryRef) for r in refs)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_addresses_fall_inside_declared_regions(self, name):
+        workload = make_workload(name, max_refs=300)
+        regions = workload.memory_regions()
+        assert regions, "every workload must declare its data regions"
+        for ref in workload.bounded():
+            assert any(base <= ref.vaddr < base + size for base, size in regions), hex(ref.vaddr)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_instruction_gaps_positive(self, name):
+        for ref in make_workload(name, max_refs=100).bounded():
+            assert ref.instruction_gap >= 1
+
+    def test_huge_page_fraction_default_and_override(self):
+        default = make_workload("dlrm", max_refs=10)
+        assert default.huge_page_fraction == default.default_huge_page_fraction
+        config = WorkloadConfig(name="dlrm", max_refs=10, huge_page_fraction=0.9)
+        overridden = make_workload(config)
+        assert overridden.huge_page_fraction == 0.9
+
+    def test_rnd_is_mostly_irregular(self):
+        workload = make_workload("rnd", max_refs=2000, seed=5)
+        pages = {ref.vaddr >> 12 for ref in workload.bounded()}
+        assert len(pages) > 1000  # almost every access touches a new page
+
+    def test_graph_workloads_have_reuse(self):
+        workload = make_workload("pr", max_refs=3000, seed=5)
+        addresses = [ref.vaddr for ref in workload.bounded()]
+        assert len(set(addresses)) < len(addresses)
+
+    def test_tc_emits_second_hop_accesses(self):
+        workload = make_workload("tc", max_refs=500)
+        assert isinstance(workload, TriangleCounting)
+        ips = {ref.ip for ref in workload.bounded()}
+        assert len(ips) >= 5
+
+    def test_writes_present(self):
+        workload = make_workload("rnd", max_refs=500)
+        assert any(ref.is_write for ref in workload.bounded())
+
+    def test_footprint_scale(self):
+        small = make_workload("rnd", max_refs=10, footprint_scale=0.5)
+        large = make_workload("rnd", max_refs=10, footprint_scale=1.0)
+        assert small.table_bytes < large.table_bytes
+
+
+class TestBaseHelpers:
+    def test_mix_hash_deterministic_and_spread(self):
+        assert mix_hash(1, 2) == mix_hash(1, 2)
+        values = {mix_hash(i) % 1000 for i in range(200)}
+        assert len(values) > 150
+
+    def test_region_allocation_does_not_overlap(self):
+        config = WorkloadConfig(name="x", max_refs=1)
+        workload = Workload(config)
+        a = workload.region(1 << 20)
+        b = workload.region(1 << 20)
+        assert abs(a - b) >= 1 << 20
+
+    def test_region_too_large_rejected(self):
+        workload = Workload(WorkloadConfig(name="x"))
+        with pytest.raises(ValueError):
+            workload.region(1 << 50)
+
+    def test_generate_not_implemented_on_base(self):
+        workload = Workload(WorkloadConfig(name="x"))
+        with pytest.raises(NotImplementedError):
+            next(iter(workload.generate()))
+
+    def test_graph_degree_is_stable(self):
+        workload = make_workload("bfs", max_refs=10)
+        assert isinstance(workload, GraphWorkload)
+        assert workload.degree(42) == workload.degree(42)
+        assert 1 <= workload.degree(42) <= workload.max_neighbors * 4
