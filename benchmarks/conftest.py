@@ -8,9 +8,10 @@ absolute numbers.
 
 Runtime is controlled by the same environment variables as the experiment
 runner (see ``repro.experiments.runner``): ``REPRO_EXPERIMENT_REFS``,
-``REPRO_WORKLOADS``, ``REPRO_HARDWARE_SCALE``, ``REPRO_CACHE_DIR``.
-Simulation results are memoised in-process, so benches that share runs
-(e.g. Figures 20-24) only pay for them once.
+``REPRO_WORKLOADS``, ``REPRO_HARDWARE_SCALE``, ``REPRO_CACHE_DIR`` and
+``REPRO_JOBS`` (fan simulation runs out across worker processes, see
+``repro.experiments.engine``).  Simulation results are memoised in-process,
+so benches that share runs (e.g. Figures 20-24) only pay for them once.
 """
 
 from __future__ import annotations

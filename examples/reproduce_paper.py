@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Regenerate every paper table/figure and write EXPERIMENTS.md.
 
-Runs all 21 experiments (Figures 4-29, Table 2, Section 7), prints each one's
-table, and records the paper-reported value next to the measured value for
-every headline number in ``EXPERIMENTS.md``.
+This is now a thin wrapper over the ``repro`` CLI (``repro run``), kept for
+backwards compatibility: it runs all 21 experiments (Figures 4-29, Table 2,
+Section 7), prints each one's table, and records the paper-reported value next
+to the measured value for every headline number in ``EXPERIMENTS.md``.
 
 Runtime is governed by the usual environment variables::
 
     REPRO_EXPERIMENT_REFS=20000 REPRO_HARDWARE_SCALE=8 \
-    REPRO_CACHE_DIR=.repro_cache python examples/reproduce_paper.py
+    REPRO_CACHE_DIR=.repro_cache REPRO_JOBS=auto \
+    python examples/reproduce_paper.py
 
-With the defaults this takes on the order of 10-20 minutes on a laptop; with a
+With the defaults this takes on the order of 10-20 minutes on a laptop;
+``REPRO_JOBS=auto`` fans the simulation runs out across every CPU, and with a
 populated ``REPRO_CACHE_DIR`` (e.g. after running the benchmark harness) it
 completes in seconds.
 """
@@ -18,61 +21,10 @@ completes in seconds.
 from __future__ import annotations
 
 import sys
-import time
-from pathlib import Path
 
-from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.runner import ExperimentSettings
-
-HEADER = """# EXPERIMENTS — paper vs. measured
-
-Generated by `examples/reproduce_paper.py`.
-
-Every table and figure of the paper's motivation and evaluation sections is
-regenerated by the benchmark harness (`benchmarks/`) and by this script.  The
-simulator is a scaled trace-driven model (see DESIGN.md): absolute numbers are
-not expected to match the paper's Sniper-based testbed, but the *shape* of each
-result — who wins, by roughly what factor, and in which direction each sweep
-moves — should hold.  The tables below record the paper's headline numbers next
-to what this reproduction measures.
-
-| Settings | value |
-|---|---|
-| memory references per run | {refs} |
-| hardware scale factor | {scale} |
-| warm-up fraction | {warmup} |
-| workloads | {workloads} |
-"""
-
-
-def main() -> None:
-    settings = ExperimentSettings()
-    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
-    sections = [HEADER.format(refs=settings.max_refs, scale=settings.hardware_scale,
-                              warmup=settings.warmup_fraction,
-                              workloads=", ".join(settings.workloads))]
-    for name, experiment in ALL_EXPERIMENTS.items():
-        start = time.time()
-        print(f"=== {name} ===", flush=True)
-        result = experiment(settings)
-        print(result.to_table())
-        print(f"({time.time() - start:.1f}s)\n", flush=True)
-
-        sections.append(f"\n## {result.experiment_id}: {result.title}\n")
-        if result.paper_expectation:
-            sections.append("| metric | paper | measured |\n|---|---|---|")
-            for key, paper, measured in result.comparison_rows():
-                sections.append(f"| {key} | {paper} | {measured} |")
-            sections.append("")
-        if result.notes:
-            sections.append(f"*{result.notes}*\n")
-        sections.append("<details><summary>full table</summary>\n")
-        sections.append(result.to_markdown())
-        sections.append("\n</details>\n")
-
-    out_path.write_text("\n".join(sections) + "\n")
-    print(f"wrote {out_path}")
+from repro.cli import main
 
 
 if __name__ == "__main__":
-    main()
+    output = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    sys.exit(main(["run", "--output", output]))

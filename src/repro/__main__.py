@@ -1,0 +1,8 @@
+"""Allow ``python -m repro`` to invoke the CLI (same as the ``repro`` script)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ EXPERIMENTS.md.
 
 Modules
 -------
+* :mod:`repro.experiments.engine` — serial / process-pool execution backends.
 * :mod:`repro.experiments.runner` — settings, caching and the shared run matrix.
 * :mod:`repro.experiments.motivation` — Figures 4, 5, 9, 10, 11 (Section 3).
 * :mod:`repro.experiments.large_tlbs` — Figures 6, 7, 8 (Section 3.1).
@@ -19,6 +20,15 @@ Modules
 * :mod:`repro.experiments.overheads` — Section 7 (area and power).
 """
 
+from repro.experiments.engine import (
+    ExecutionEngine,
+    ProcessPoolEngine,
+    RunSpec,
+    SerialEngine,
+    get_engine,
+    resolve_jobs,
+    run_many,
+)
 from repro.experiments.runner import ExperimentSettings, FigureResult, clear_cache
 from repro.experiments.motivation import (
     fig04_ptw_latency,
@@ -77,5 +87,12 @@ __all__ = [
     "FigureResult",
     "clear_cache",
     "ALL_EXPERIMENTS",
+    "ExecutionEngine",
+    "SerialEngine",
+    "ProcessPoolEngine",
+    "RunSpec",
+    "get_engine",
+    "resolve_jobs",
+    "run_many",
     *[name for name in dir() if name.startswith(("fig", "table2", "sec7"))],
 ]

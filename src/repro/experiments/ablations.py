@@ -5,15 +5,25 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import arithmetic_mean, geometric_mean, percent_reduction
+from repro.experiments.engine import RunSpec, run_many
 from repro.experiments.runner import ExperimentSettings, FigureResult, run_matrix, run_one
 
 #: L2 cache sizes swept by Figure 25 (bytes, before hardware scaling).
 L2_CACHE_SIZES = (1 * 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024, 8 * 1024 * 1024)
 
 
-def fig25_cache_size_sweep(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig25_cache_size_sweep(settings: Optional[ExperimentSettings] = None,
+                           jobs: Optional[int] = None) -> FigureResult:
     """Figure 25: Victima's PTW reduction across L2 cache sizes (1-8 MB)."""
     settings = settings or ExperimentSettings()
+    # Dispatch the whole (workload x cache size) sweep in one batch; the loops
+    # below are then served from the in-process cache.
+    specs = [RunSpec.make("radix", workload) for workload in settings.workloads]
+    specs += [RunSpec.make("victima", workload,
+                           system_label=f"Victima (L2 {size >> 20}MB)",
+                           l2_cache_bytes=size)
+              for workload in settings.workloads for size in L2_CACHE_SIZES]
+    run_many(specs, settings, jobs=jobs)
     rows = []
     means = {size: [] for size in L2_CACHE_SIZES}
     for workload in settings.workloads:
@@ -45,10 +55,11 @@ def fig25_cache_size_sweep(settings: Optional[ExperimentSettings] = None) -> Fig
     )
 
 
-def fig26_replacement_ablation(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig26_replacement_ablation(settings: Optional[ExperimentSettings] = None,
+                               jobs: Optional[int] = None) -> FigureResult:
     """Figure 26: Victima with TLB-aware SRRIP vs. Victima with TLB-agnostic SRRIP."""
     settings = settings or ExperimentSettings()
-    matrix = run_matrix(("victima", "victima_srrip"), settings)
+    matrix = run_matrix(("victima", "victima_srrip"), settings, jobs=jobs)
     rows = []
     speedups = []
     for workload in settings.workloads:
@@ -71,13 +82,14 @@ def fig26_replacement_ablation(settings: Optional[ExperimentSettings] = None) ->
     )
 
 
-def ablation_insertion_triggers(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def ablation_insertion_triggers(settings: Optional[ExperimentSettings] = None,
+                                jobs: Optional[int] = None) -> FigureResult:
     """Extra ablation (DESIGN.md): miss-only / eviction-only / both insertion triggers."""
     settings = settings or ExperimentSettings()
     variants = ("victima", "victima_miss_only", "victima_eviction_only")
     labels = {"victima": "miss + eviction", "victima_miss_only": "miss only",
               "victima_eviction_only": "eviction only"}
-    matrix = run_matrix(("radix",) + variants, settings)
+    matrix = run_matrix(("radix",) + variants, settings, jobs=jobs)
     rows = []
     gmeans = {}
     speedups = {variant: [] for variant in variants}
@@ -103,10 +115,11 @@ def ablation_insertion_triggers(settings: Optional[ExperimentSettings] = None) -
     )
 
 
-def ablation_predictor(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def ablation_predictor(settings: Optional[ExperimentSettings] = None,
+                       jobs: Optional[int] = None) -> FigureResult:
     """Extra ablation (DESIGN.md): Victima with and without the PTW cost predictor."""
     settings = settings or ExperimentSettings()
-    matrix = run_matrix(("radix", "victima", "victima_no_predictor"), settings)
+    matrix = run_matrix(("radix", "victima", "victima_no_predictor"), settings, jobs=jobs)
     rows = []
     speedups = {"victima": [], "victima_no_predictor": []}
     pollution = {"victima": [], "victima_no_predictor": []}

@@ -6,7 +6,13 @@ from typing import Optional, Sequence
 
 from repro.analysis.cacti import tlb_access_latency
 from repro.analysis.metrics import geometric_mean
-from repro.experiments.runner import ExperimentSettings, FigureResult, run_matrix
+from repro.experiments.engine import RunSpec, run_many
+from repro.experiments.runner import (
+    ExperimentSettings,
+    FigureResult,
+    run_matrix,
+    run_one,
+)
 from repro.experiments.motivation import L2_TLB_SWEEP
 
 #: The realistic-latency sweep of Figure 7.
@@ -19,8 +25,9 @@ L3_TLB_LATENCIES = (15, 20, 25, 30, 35, 39)
 def _speedup_figure(settings: ExperimentSettings, systems: Sequence[str],
                     experiment_id: str, title: str, headers: Sequence[str],
                     paper_gmean: dict, notes: str,
+                    jobs: Optional[int] = None,
                     **overrides_per_system) -> FigureResult:
-    matrix = run_matrix(("radix",) + tuple(systems), settings)
+    matrix = run_matrix(("radix",) + tuple(systems), settings, jobs=jobs)
     rows = []
     speedups = {system: [] for system in systems}
     for workload in settings.workloads:
@@ -40,11 +47,12 @@ def _speedup_figure(settings: ExperimentSettings, systems: Sequence[str],
                         paper_expectation=expectation, measured=measured, notes=notes)
 
 
-def fig06_opt_l2tlb(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig06_opt_l2tlb(settings: Optional[ExperimentSettings] = None,
+                    jobs: Optional[int] = None) -> FigureResult:
     """Figure 6: speedup of larger L2 TLBs at a fixed (optimistic) 12-cycle latency."""
     settings = settings or ExperimentSettings()
     return _speedup_figure(
-        settings, L2_TLB_SWEEP,
+        settings, L2_TLB_SWEEP, jobs=jobs,
         experiment_id="Figure 6",
         title="Speedup of larger L2 TLBs @ optimistic 12-cycle latency (vs. Radix)",
         headers=["workload", "2K", "4K", "8K", "16K", "32K", "64K"],
@@ -54,14 +62,15 @@ def fig06_opt_l2tlb(settings: Optional[ExperimentSettings] = None) -> FigureResu
               "held constant.")
 
 
-def fig07_realistic_l2tlb(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig07_realistic_l2tlb(settings: Optional[ExperimentSettings] = None,
+                          jobs: Optional[int] = None) -> FigureResult:
     """Figure 7: speedup of larger L2 TLBs with CACTI-derived access latencies."""
     settings = settings or ExperimentSettings()
     headers = ["workload"] + [
         f"{name.split('_')[-1].upper()}-{tlb_access_latency(int(name.split('_')[-1][:-1]) * 1024)}cyc"
         for name in REALISTIC_SWEEP]
     return _speedup_figure(
-        settings, REALISTIC_SWEEP,
+        settings, REALISTIC_SWEEP, jobs=jobs,
         experiment_id="Figure 7",
         title="Speedup of larger L2 TLBs @ realistic (CACTI) latencies (vs. Radix)",
         headers=headers,
@@ -71,16 +80,24 @@ def fig07_realistic_l2tlb(settings: Optional[ExperimentSettings] = None) -> Figu
               "benefit of Figure 6 (the added hit latency eats the gains).")
 
 
-def fig08_l3tlb(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig08_l3tlb(settings: Optional[ExperimentSettings] = None,
+                jobs: Optional[int] = None) -> FigureResult:
     """Figure 8: speedup of a 64K-entry L3 TLB with increasing access latencies."""
     settings = settings or ExperimentSettings()
-    matrix_base = run_matrix(("radix",), settings)
+    # Submit the whole (workload x latency) sweep plus the baseline in one
+    # batch so a parallel backend can overlap every run; the loops below then
+    # resolve instantly from the in-process cache.
+    specs = [RunSpec.make("radix", workload) for workload in settings.workloads]
+    specs += [RunSpec.make("opt_l3tlb_64k", workload,
+                           system_label=f"Opt. L3 TLB 64K ({latency} cyc)",
+                           l3_latency=latency)
+              for workload in settings.workloads for latency in L3_TLB_LATENCIES]
+    batch = run_many(specs, settings, jobs=jobs)
+    baselines = dict(zip(settings.workloads, batch[:len(settings.workloads)]))
     rows = []
     speedups = {latency: [] for latency in L3_TLB_LATENCIES}
-    from repro.experiments.runner import run_one
-
     for workload in settings.workloads:
-        baseline = matrix_base[workload]["radix"].cycles
+        baseline = baselines[workload].cycles
         row = [workload]
         for latency in L3_TLB_LATENCIES:
             result = run_one("opt_l3tlb_64k", workload, settings, l3_latency=latency,

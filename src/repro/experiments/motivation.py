@@ -5,20 +5,22 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.metrics import arithmetic_mean, geometric_mean, percent_reduction, reuse_buckets
-from repro.experiments.runner import ExperimentSettings, FigureResult, run_matrix, run_one
+from repro.experiments.runner import ExperimentSettings, FigureResult, run_matrix
 
 #: L2 TLB sizes swept by Figures 5 and 6 (entries).
 L2_TLB_SWEEP = ("opt_l2tlb_2k", "opt_l2tlb_4k", "opt_l2tlb_8k", "opt_l2tlb_16k",
                 "opt_l2tlb_32k", "opt_l2tlb_64k")
 
 
-def fig04_ptw_latency(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig04_ptw_latency(settings: Optional[ExperimentSettings] = None,
+                      jobs: Optional[int] = None) -> FigureResult:
     """Figure 4: distribution of page-table-walk latency on the baseline system."""
     settings = settings or ExperimentSettings()
+    matrix = run_matrix(("radix",), settings, jobs=jobs)
     histogram: dict[int, int] = {}
     means = []
     for workload in settings.workloads:
-        result = run_one("radix", workload, settings)
+        result = matrix[workload]["radix"]
         means.append(result.ptw_mean_latency)
         for bucket, count in result.ptw_latency_histogram.items():
             histogram[bucket] = histogram.get(bucket, 0) + count
@@ -38,11 +40,12 @@ def fig04_ptw_latency(settings: Optional[ExperimentSettings] = None) -> FigureRe
     )
 
 
-def fig05_tlb_mpki(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig05_tlb_mpki(settings: Optional[ExperimentSettings] = None,
+                   jobs: Optional[int] = None) -> FigureResult:
     """Figure 5: L2 TLB MPKI for L2 TLBs of increasing size."""
     settings = settings or ExperimentSettings()
     systems = ("radix",) + L2_TLB_SWEEP
-    matrix = run_matrix(systems, settings)
+    matrix = run_matrix(systems, settings, jobs=jobs)
     rows = []
     mean_mpki = {}
     for workload in settings.workloads:
@@ -72,11 +75,12 @@ def fig05_tlb_mpki(settings: Optional[ExperimentSettings] = None) -> FigureResul
     )
 
 
-def fig09_stlb_latency(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig09_stlb_latency(settings: Optional[ExperimentSettings] = None,
+                       jobs: Optional[int] = None) -> FigureResult:
     """Figure 9: L2 TLB miss latency with/without an STLB, native and virtualized."""
     settings = settings or ExperimentSettings()
     systems = ("radix", "pom_tlb", "nested_paging", "virt_pom_tlb")
-    matrix = run_matrix(systems, settings)
+    matrix = run_matrix(systems, settings, jobs=jobs)
     rows = []
     means = {system: [] for system in systems}
     for workload in settings.workloads:
@@ -103,7 +107,8 @@ def fig09_stlb_latency(settings: Optional[ExperimentSettings] = None) -> FigureR
     )
 
 
-def fig10_tlb_hit_level(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig10_tlb_hit_level(settings: Optional[ExperimentSettings] = None,
+                        jobs: Optional[int] = None) -> FigureResult:
     """Figure 10: miss-latency reduction if every L2 TLB miss hit in L1/L2/LLC.
 
     This is the paper's idealised limit study: the translation for every L2 TLB
@@ -111,12 +116,12 @@ def fig10_tlb_hit_level(settings: Optional[ExperimentSettings] = None) -> Figure
     the reduction is computed against the measured baseline miss latency.
     """
     settings = settings or ExperimentSettings()
+    matrix = run_matrix(("radix",), settings, jobs=jobs)
     rows = []
     reductions = {"L1": [], "L2": [], "LLC": []}
     for workload in settings.workloads:
-        result = run_one("radix", workload, settings)
+        result = matrix[workload]["radix"]
         base = result.l2_tlb_miss_latency_mean or 1.0
-        config = run_one("radix", workload, settings)  # same run; latencies below
         level_latencies = {"L1": 4, "L2": 16, "LLC": 35}
         row = [workload]
         for level, latency in level_latencies.items():
@@ -138,20 +143,22 @@ def fig10_tlb_hit_level(settings: Optional[ExperimentSettings] = None) -> Figure
     )
 
 
-def fig11_cache_reuse(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig11_cache_reuse(settings: Optional[ExperimentSettings] = None,
+                      jobs: Optional[int] = None) -> FigureResult:
     """Figure 11: reuse-level distribution of L2 data cache blocks."""
     settings = settings or ExperimentSettings()
+    matrix = run_matrix(("radix",), settings, jobs=jobs)
     rows = []
     zero_fractions = []
     buckets_order = ("0", "1-5", "5-10", "10-20", ">20")
     for workload in settings.workloads:
-        result = run_one("radix", workload, settings)
+        result = matrix[workload]["radix"]
         buckets = reuse_buckets(result.l2_data_reuse_histogram)
         zero_fractions.append(buckets["0"])
         rows.append([workload] + [round(100 * buckets[b], 1) for b in buckets_order])
     mean_zero = 100 * arithmetic_mean(zero_fractions)
     rows.append(["MEAN"] + [round(100 * arithmetic_mean(
-        [reuse_buckets(run_one("radix", w, settings).l2_data_reuse_histogram)[b]
+        [reuse_buckets(matrix[w]["radix"].l2_data_reuse_histogram)[b]
          for w in settings.workloads]), 1) for b in buckets_order])
     return FigureResult(
         experiment_id="Figure 11",

@@ -19,14 +19,15 @@ NATIVE_LABELS = {
 }
 
 
-def _native_matrix(settings: ExperimentSettings):
-    return run_matrix(("radix",) + NATIVE_SYSTEMS, settings)
+def _native_matrix(settings: ExperimentSettings, jobs: Optional[int] = None):
+    return run_matrix(("radix",) + NATIVE_SYSTEMS, settings, jobs=jobs)
 
 
-def fig20_native_speedup(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig20_native_speedup(settings: Optional[ExperimentSettings] = None,
+                         jobs: Optional[int] = None) -> FigureResult:
     """Figure 20: execution-time speedup of every native system over Radix."""
     settings = settings or ExperimentSettings()
-    matrix = _native_matrix(settings)
+    matrix = _native_matrix(settings, jobs)
     rows = []
     speedups: Dict[str, list] = {system: [] for system in NATIVE_SYSTEMS}
     for workload in settings.workloads:
@@ -58,10 +59,11 @@ def fig20_native_speedup(settings: Optional[ExperimentSettings] = None) -> Figur
     )
 
 
-def fig21_ptw_reduction(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig21_ptw_reduction(settings: Optional[ExperimentSettings] = None,
+                        jobs: Optional[int] = None) -> FigureResult:
     """Figure 21: reduction in page-table walks over Radix."""
     settings = settings or ExperimentSettings()
-    matrix = _native_matrix(settings)
+    matrix = _native_matrix(settings, jobs)
     systems = ("pom_tlb", "opt_l2tlb_64k", "opt_l2tlb_128k", "victima")
     rows = []
     reductions: Dict[str, list] = {system: [] for system in systems}
@@ -90,10 +92,11 @@ def fig21_ptw_reduction(settings: Optional[ExperimentSettings] = None) -> Figure
     )
 
 
-def fig22_miss_latency(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig22_miss_latency(settings: Optional[ExperimentSettings] = None,
+                       jobs: Optional[int] = None) -> FigureResult:
     """Figure 22: L2 TLB miss latency of POM-TLB and Victima normalised to Radix."""
     settings = settings or ExperimentSettings()
-    matrix = _native_matrix(settings)
+    matrix = _native_matrix(settings, jobs)
     rows = []
     normalized = {"pom_tlb": [], "victima": []}
     for workload in settings.workloads:
@@ -127,10 +130,11 @@ def fig22_miss_latency(settings: Optional[ExperimentSettings] = None) -> FigureR
     )
 
 
-def fig23_reach(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig23_reach(settings: Optional[ExperimentSettings] = None,
+                jobs: Optional[int] = None) -> FigureResult:
     """Figure 23: translation reach provided by TLB blocks in the L2 cache."""
     settings = settings or ExperimentSettings()
-    matrix = _native_matrix(settings)
+    matrix = _native_matrix(settings, jobs)
     base_reach_mb = _baseline_tlb_reach_mb(settings)
     rows = []
     reach_values = []
@@ -169,10 +173,11 @@ def _baseline_tlb_reach_mb(settings: ExperimentSettings) -> float:
     return entries * 4096 / (1 << 20)
 
 
-def fig24_tlb_block_reuse(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig24_tlb_block_reuse(settings: Optional[ExperimentSettings] = None,
+                          jobs: Optional[int] = None) -> FigureResult:
     """Figure 24: reuse-level distribution of TLB blocks in the L2 cache."""
     settings = settings or ExperimentSettings()
-    matrix = _native_matrix(settings)
+    matrix = _native_matrix(settings, jobs)
     buckets_order = ("0", "1-5", "5-10", "10-20", ">20")
     rows = []
     high_reuse = []

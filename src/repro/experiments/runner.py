@@ -10,6 +10,9 @@ can be made faster or more thorough without code changes:
 * ``REPRO_WARMUP_FRACTION`` — warm-up fraction of each run (default 0.3).
 * ``REPRO_CACHE_DIR`` — if set, completed runs are pickled there and re-used
   across processes (the in-process cache is always active).
+* ``REPRO_JOBS`` — number of parallel simulation workers (``1`` = serial,
+  ``auto`` = one per CPU); see :mod:`repro.experiments.engine`.
+* ``REPRO_PROGRESS`` — if set, print per-run progress/timing to stderr.
 """
 
 from __future__ import annotations
@@ -17,10 +20,12 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_markdown_table, format_table
+from repro.experiments.engine import ProgressCallback, RunSpec, get_engine
 from repro.sim.presets import make_system_config, make_workload_config
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.workloads.registry import WORKLOAD_NAMES
@@ -98,6 +103,21 @@ class FigureResult:
 # --------------------------------------------------------------------------- #
 _RESULT_CACHE: Dict[tuple, SimulationResult] = {}
 
+#: Bump whenever the pickled payload's semantics change (e.g. new
+#: :class:`SimulationResult` fields that old cache entries would lack).  The
+#: version is part of the on-disk digest, so stale entries are simply ignored
+#: instead of deserialising into inconsistent results.
+_CACHE_FORMAT_VERSION = 2
+
+#: Exceptions that mean "this cache file's *payload* is unusable — delete it
+#: and recompute".  Truncated pickles raise ``EOFError``/``UnpicklingError``/
+#: ``IndexError``; pickles written by an incompatible source tree raise
+#: ``AttributeError``/``ImportError``.  Transient I/O errors (``OSError``)
+#: are deliberately NOT here: they say nothing about the payload, so the
+#: entry is kept and only this read falls back to recomputing.
+_CACHE_CORRUPTION_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                            ImportError, IndexError)
+
 
 def clear_cache() -> None:
     """Drop every memoised simulation result (mainly for tests)."""
@@ -111,13 +131,83 @@ def _cache_key(system_name: str, workload: str, settings: ExperimentSettings,
             tuple(sorted(overrides.items())))
 
 
+def _spec_key(spec: RunSpec, settings: ExperimentSettings) -> tuple:
+    return _cache_key(spec.system_name, spec.workload, settings,
+                      **dict(spec.overrides))
+
+
+def peek_cached(spec: RunSpec,
+                settings: ExperimentSettings) -> Optional[SimulationResult]:
+    """Return the in-process cached result for ``spec``, if any (no disk I/O)."""
+    return _RESULT_CACHE.get(_spec_key(spec, settings))
+
+
+def seed_cache(spec: RunSpec, settings: ExperimentSettings,
+               result: SimulationResult) -> None:
+    """Memoise a result computed elsewhere (e.g. by a pool worker)."""
+    _RESULT_CACHE[_spec_key(spec, settings)] = result
+
+
 def _disk_cache_path(key: tuple) -> Optional[str]:
     cache_dir = os.environ.get("REPRO_CACHE_DIR")
     if not cache_dir:
         return None
     os.makedirs(cache_dir, exist_ok=True)
-    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+    versioned = (_CACHE_FORMAT_VERSION,) + key
+    digest = hashlib.sha256(repr(versioned).encode()).hexdigest()[:24]
     return os.path.join(cache_dir, f"run_{digest}.pkl")
+
+
+def _load_cached_result(disk_path: str) -> Optional[SimulationResult]:
+    """Load a pickled result, tolerating truncated/corrupt/stale files.
+
+    A parallel writer that died mid-write (or a cache produced by an older
+    source tree) must never poison the run: unusable files are deleted and the
+    run is recomputed.
+    """
+    try:
+        with open(disk_path, "rb") as handle:
+            result = pickle.load(handle)
+    except OSError:
+        # Missing file, or a transient I/O failure (EMFILE, NFS hiccup):
+        # recompute this once but leave the entry alone.
+        return None
+    except _CACHE_CORRUPTION_ERRORS:
+        try:
+            os.unlink(disk_path)
+        except OSError:
+            pass
+        return None
+    if not isinstance(result, SimulationResult):
+        return None
+    return result
+
+
+def _store_cached_result(disk_path: str, result: SimulationResult) -> None:
+    """Atomically publish a result so concurrent readers never see a torn file.
+
+    The payload is written to a unique temporary file in the same directory
+    and moved into place with :func:`os.replace`; readers either see the old
+    state (missing file) or the complete new pickle, never a prefix.
+    """
+    directory = os.path.dirname(disk_path) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=os.path.basename(disk_path) + ".",
+                                    suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp_path, disk_path)
+    except Exception:
+        # The cache is an optimisation: a failure to persist (disk full,
+        # unpicklable payload, ...) must neither kill the run that already
+        # computed the result nor leave a stray temp file behind.
+        pass
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
 
 
 def run_one(system_name: str, workload: str,
@@ -135,11 +225,11 @@ def run_one(system_name: str, workload: str,
     if key in _RESULT_CACHE:
         return _RESULT_CACHE[key]
     disk_path = _disk_cache_path(key)
-    if disk_path and os.path.exists(disk_path):
-        with open(disk_path, "rb") as handle:
-            result = pickle.load(handle)
-        _RESULT_CACHE[key] = result
-        return result
+    if disk_path:
+        result = _load_cached_result(disk_path)
+        if result is not None:
+            _RESULT_CACHE[key] = result
+            return result
 
     system_config = make_system_config(system_name, hardware_scale=settings.hardware_scale,
                                        **system_overrides)
@@ -152,22 +242,28 @@ def run_one(system_name: str, workload: str,
     result = simulator.run()
     _RESULT_CACHE[key] = result
     if disk_path:
-        with open(disk_path, "wb") as handle:
-            pickle.dump(result, handle)
+        _store_cached_result(disk_path, result)
     return result
 
 
 def run_matrix(system_names: Sequence[str],
                settings: Optional[ExperimentSettings] = None,
                workloads: Optional[Iterable[str]] = None,
+               jobs: Optional[int] = None,
+               progress: Optional[ProgressCallback] = None,
                **system_overrides) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run every (workload, system) pair; returns ``{workload: {system: result}}``."""
+    """Run every (workload, system) pair; returns ``{workload: {system: result}}``.
+
+    ``jobs`` selects the execution backend (default: ``REPRO_JOBS``); with
+    ``jobs > 1`` the full run list is fanned out across a process pool while
+    the returned matrix is identical to the serial path.
+    """
     settings = settings or ExperimentSettings()
     workloads = tuple(workloads) if workloads is not None else settings.workloads
+    specs = [RunSpec.make(system_name, workload, **system_overrides)
+             for workload in workloads for system_name in system_names]
+    results = get_engine(jobs).run(specs, settings, progress=progress)
     matrix: Dict[str, Dict[str, SimulationResult]] = {}
-    for workload in workloads:
-        matrix[workload] = {}
-        for system_name in system_names:
-            matrix[workload][system_name] = run_one(system_name, workload, settings,
-                                                    **system_overrides)
+    for spec, result in zip(specs, results):
+        matrix.setdefault(spec.workload, {})[spec.system_name] = result
     return matrix

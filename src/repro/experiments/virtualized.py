@@ -15,14 +15,15 @@ VIRT_LABELS = {
 }
 
 
-def _virt_matrix(settings: ExperimentSettings):
-    return run_matrix(("nested_paging",) + VIRT_SYSTEMS, settings)
+def _virt_matrix(settings: ExperimentSettings, jobs: Optional[int] = None):
+    return run_matrix(("nested_paging",) + VIRT_SYSTEMS, settings, jobs=jobs)
 
 
-def fig27_virt_speedup(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig27_virt_speedup(settings: Optional[ExperimentSettings] = None,
+                       jobs: Optional[int] = None) -> FigureResult:
     """Figure 27: speedup over nested paging in virtualized execution."""
     settings = settings or ExperimentSettings()
-    matrix = _virt_matrix(settings)
+    matrix = _virt_matrix(settings, jobs)
     rows = []
     speedups: Dict[str, list] = {system: [] for system in VIRT_SYSTEMS}
     for workload in settings.workloads:
@@ -53,10 +54,11 @@ def fig27_virt_speedup(settings: Optional[ExperimentSettings] = None) -> FigureR
     )
 
 
-def fig28_virt_ptw_reduction(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig28_virt_ptw_reduction(settings: Optional[ExperimentSettings] = None,
+                             jobs: Optional[int] = None) -> FigureResult:
     """Figure 28: reduction in guest and host PTWs over nested paging."""
     settings = settings or ExperimentSettings()
-    matrix = _virt_matrix(settings)
+    matrix = _virt_matrix(settings, jobs)
     systems = ("virt_pom_tlb", "virt_victima")
     rows = []
     guest_red = {system: [] for system in systems}
@@ -93,10 +95,11 @@ def fig28_virt_ptw_reduction(settings: Optional[ExperimentSettings] = None) -> F
     )
 
 
-def fig29_virt_miss_latency(settings: Optional[ExperimentSettings] = None) -> FigureResult:
+def fig29_virt_miss_latency(settings: Optional[ExperimentSettings] = None,
+                            jobs: Optional[int] = None) -> FigureResult:
     """Figure 29: L2 TLB miss latency normalised to nested paging, host/guest split."""
     settings = settings or ExperimentSettings()
-    matrix = _virt_matrix(settings)
+    matrix = _virt_matrix(settings, jobs)
     rows = []
     norm_means: Dict[str, list] = {system: [] for system in VIRT_SYSTEMS}
     for workload in settings.workloads:

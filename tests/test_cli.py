@@ -1,0 +1,126 @@
+"""Smoke tests for the ``repro`` command-line interface."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.common.errors import ConfigurationError
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _tiny_environment(monkeypatch):
+    """Keep every CLI invocation cheap and hermetic."""
+    monkeypatch.setenv("REPRO_EXPERIMENT_REFS", "600")
+    monkeypatch.setenv("REPRO_HARDWARE_SCALE", "16")
+    monkeypatch.setenv("REPRO_WORKLOADS", "rnd")
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSelectExperiments:
+    def test_all_by_default(self):
+        assert len(cli.select_experiments(None)) == len(ALL_EXPERIMENTS)
+        assert len(cli.select_experiments("all")) == len(ALL_EXPERIMENTS)
+
+    def test_subset_keeps_order(self):
+        selected = cli.select_experiments("fig21,fig20")
+        assert [name for name, _ in selected] == ["fig21", "fig20"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            cli.select_experiments("fig99")
+
+
+class TestJobsStrings:
+    """--jobs values flow to engine.resolve_jobs untouched (single parser)."""
+
+    def test_auto(self):
+        from repro.experiments.engine import resolve_jobs
+
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+
+    def test_number(self):
+        from repro.experiments.engine import resolve_jobs
+
+        assert resolve_jobs("3") == 3
+
+    def test_invalid_surfaces_as_cli_error(self, capsys):
+        assert cli.main(["run", "--figures", "fig10", "--jobs", "lots"]) == 2
+        assert "jobs must be an integer" in capsys.readouterr().err
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+        assert "Figure 20" in out
+
+    def test_run_one_cheap_figure(self, tmp_path, capsys):
+        report = tmp_path / "EXPERIMENTS.md"
+        code = cli.main(["run", "--figures", "fig10", "--jobs", "1",
+                         "--output", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "Figure 10" in out
+        text = report.read_text()
+        assert "Figure 10" in text
+        assert "| memory references per run | 600 |" in text
+
+    def test_run_parallel_jobs(self, tmp_path, capsys):
+        report = tmp_path / "EXPERIMENTS.md"
+        code = cli.main(["run", "--figures", "fig10", "--jobs", "2",
+                         "--quiet", "--output", str(report)])
+        assert code == 0
+        assert "Figure 10" in report.read_text()
+        assert capsys.readouterr().out == ""  # --quiet really is quiet
+
+    def test_run_flags_override_environment(self, tmp_path, capsys):
+        report = tmp_path / "E.md"
+        code = cli.main(["run", "--figures", "fig04", "--refs", "500",
+                         "--workloads", "rnd", "--output", str(report)])
+        assert code == 0
+        assert "| memory references per run | 500 |" in report.read_text()
+
+    def test_no_report(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["run", "--figures", "fig10", "--no-report"]) == 0
+        assert not (tmp_path / "EXPERIMENTS.md").exists()
+
+    def test_unknown_figure_is_an_error(self, capsys):
+        assert cli.main(["run", "--figures", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_cache_dir_flag_populates_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code = cli.main(["run", "--figures", "fig10", "--quiet", "--no-report",
+                         "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert list(cache_dir.glob("run_*.pkl"))
+        # The flag must not leak into the process environment after main().
+        assert "REPRO_CACHE_DIR" not in os.environ
+
+
+def test_python_dash_m_entry_point():
+    """``python -m repro list`` must work without installation."""
+    repo_root = Path(__file__).resolve().parent.parent
+    env_path = str(repo_root / "src")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, timeout=120,
+        cwd=str(repo_root),
+        env={**os.environ, "PYTHONPATH": env_path},
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "fig20" in completed.stdout
