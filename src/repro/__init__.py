@@ -25,6 +25,16 @@ The public API is organised by subsystem:
 ``repro.workloads``
     Synthetic data-intensive workload generators (GraphBIG-like, GUPS, XSBench,
     DLRM, GenomicsBench).
+``repro.traces``
+    Trace combinators over memory-reference streams — multi-tenant mixes,
+    sequential phases, remap/shard/dilate — plus binary record/replay.
+``repro.scenario``
+    Declarative, hashable :class:`~repro.scenario.ScenarioSpec` run
+    descriptions, loadable from TOML/JSON.
+``repro.api``
+    The public façade: :func:`~repro.api.simulate` and
+    :func:`~repro.api.compare` — every experiment, example and CLI command
+    runs through it.
 ``repro.sim``
     Simulation configuration, the system factory, the trace-driven simulator
     loop and statistics.
@@ -49,13 +59,20 @@ from repro.sim.config import (
     TLBConfig,
     VictimaConfig,
 )
+from repro.api import compare, simulate
+from repro.scenario import ScenarioSpec, WorkloadSpec, load_scenario
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.sim.system import System, build_system
 from repro.workloads.registry import WORKLOAD_NAMES, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "load_scenario",
+    "simulate",
+    "compare",
     "CacheConfig",
     "MMUConfig",
     "SimulationConfig",
@@ -88,9 +105,8 @@ def quickstart(workload: str = "rnd", system: str = "victima", max_refs: int = 2
     max_refs:
         Number of memory references to simulate.
     """
-    from repro.sim.presets import make_system_config, make_workload_config
-
-    sys_cfg = make_system_config(system)
-    wl_cfg = make_workload_config(workload, max_refs=max_refs)
-    sim = Simulator.from_configs(sys_cfg, wl_cfg)
-    return sim.run()
+    spec = ScenarioSpec(
+        name=f"quickstart-{system}-{workload}", system=system,
+        workload=WorkloadSpec(kind="workload", workload=workload),
+        max_refs=max_refs)
+    return simulate(spec, use_cache=False)

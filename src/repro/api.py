@@ -1,0 +1,110 @@
+"""The public entry point for running simulations.
+
+Everything in this repository — the experiment modules, the ``repro`` CLI,
+the examples — ultimately runs simulations through two functions:
+
+:func:`simulate`
+    Run one :class:`~repro.scenario.ScenarioSpec` (or anything
+    :func:`~repro.scenario.load_scenario` accepts: a TOML/JSON file path, a
+    built-in scenario name, or a plain dict) and return its
+    :class:`~repro.sim.simulator.SimulationResult`.  Results are memoised
+    in-process and, when ``REPRO_CACHE_DIR`` is set, on disk, keyed by the
+    scenario's :meth:`~repro.scenario.ScenarioSpec.content_hash`.
+
+:func:`compare`
+    Run a ``systems × workloads`` matrix through the parallel execution
+    engine and return ``{workload: {system: result}}``.
+
+Quick start::
+
+    from repro import api
+
+    # Declarative: a built-in scenario (or a path to your own TOML).
+    result = api.simulate("two_tenant_mix")
+
+    # Programmatic: build the spec directly.
+    from repro.scenario import ScenarioSpec, WorkloadSpec
+    spec = ScenarioSpec(system="victima",
+                        workload=WorkloadSpec(kind="workload", workload="bfs"),
+                        max_refs=10_000)
+    result = api.simulate(spec)
+
+    # A comparison matrix across the engine (parallel with jobs > 1).
+    matrix = api.compare(["radix", "victima"], ["bfs", "rnd"], jobs=4)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.scenario import ScenarioSpec, list_scenarios, load_scenario
+from repro.sim.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "ScenarioSpec",
+    "build_simulator",
+    "compare",
+    "list_scenarios",
+    "load_scenario",
+    "simulate",
+    "simulate_many",
+]
+
+
+def build_simulator(scenario) -> Simulator:
+    """Materialise a scenario into a ready-to-run :class:`Simulator`.
+
+    Useful when the caller wants the assembled :class:`~repro.sim.system.System`
+    (e.g. to inspect TLB geometry) before — or instead of — running it.
+    ``scenario`` is anything :func:`~repro.scenario.load_scenario` accepts.
+    """
+    return Simulator.from_scenario(load_scenario(scenario))
+
+
+def simulate(scenario, *, use_cache: bool = True) -> SimulationResult:
+    """Run one scenario end-to-end and return its result.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`~repro.scenario.ScenarioSpec`, a mapping, a path to a
+        ``.toml``/``.json`` scenario file, or a built-in scenario name.
+    use_cache:
+        When true (the default), a result whose scenario hash is already in
+        the in-process cache — or in the ``REPRO_CACHE_DIR`` disk cache — is
+        returned without simulating, and fresh results are stored back.
+
+    The single-workload fast path is bit-identical to the legacy
+    ``Simulator.from_configs(...).run()`` construction; the parity is pinned
+    by ``tests/test_api.py``.
+    """
+    spec = load_scenario(scenario)
+    if not use_cache:
+        return Simulator.from_scenario(spec).run()
+    from repro.experiments import runner
+
+    return runner.cached_simulation(spec.content_hash(),
+                                    lambda: Simulator.from_scenario(spec).run())
+
+
+def simulate_many(scenarios: Sequence, *, use_cache: bool = True) -> List[SimulationResult]:
+    """Run several scenarios in order (each through the shared cache)."""
+    return [simulate(scenario, use_cache=use_cache) for scenario in scenarios]
+
+
+def compare(systems: Sequence[str], workloads: Optional[Iterable[str]] = None,
+            settings=None, jobs=None, progress=None,
+            **system_overrides) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every ``(workload, system)`` pair; returns ``{workload: {system: result}}``.
+
+    A façade over :func:`repro.experiments.runner.run_matrix`: ``systems`` are
+    preset names (see :func:`repro.sim.presets.make_system_config`),
+    ``workloads`` defaults to the settings' workload tuple (all 11 evaluated
+    workloads unless ``REPRO_WORKLOADS`` narrows them), ``jobs`` selects the
+    serial or process-pool engine, and ``system_overrides`` are forwarded to
+    the preset factory (e.g. ``l3_latency=25``).
+    """
+    from repro.experiments.runner import run_matrix
+
+    return run_matrix(systems, settings=settings, workloads=workloads,
+                      jobs=jobs, progress=progress, **system_overrides)

@@ -6,6 +6,8 @@ This is the entry point both humans and CI use to reproduce the paper::
     repro run                          # run every figure, write EXPERIMENTS.md
     repro run --figures fig20,fig21 --jobs 4
     repro run --refs 2000 --workloads rnd,bfs --no-report
+    repro scenarios list               # built-in declarative scenarios
+    repro run --scenario examples/scenarios/two_tenant_mix.toml
 
 ``repro run`` executes the selected experiments through the parallel
 execution engine (:mod:`repro.experiments.engine`): ``--jobs N`` fans the
@@ -13,6 +15,11 @@ underlying simulation runs out across *N* worker processes, ``--jobs auto``
 uses one per CPU, and ``--jobs 1`` (the default when ``REPRO_JOBS`` is unset)
 runs serially.  Results are cached in ``REPRO_CACHE_DIR`` (``--cache-dir``) so
 repeated and concurrent invocations share completed runs.
+
+``repro run --scenario REF`` instead runs one (or several, with repeated
+flags) declarative scenarios through :func:`repro.api.simulate` — ``REF`` is
+a TOML/JSON file or a built-in name from ``repro scenarios list`` — sharing
+the same disk cache as the figure experiments.
 """
 
 from __future__ import annotations
@@ -119,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures", "-f", default="all",
         help="comma-separated experiment names (default: all); see 'repro list'")
     run_parser.add_argument(
+        "--scenario", "-s", action="append", default=None, metavar="REF",
+        help="run a declarative scenario instead of figure experiments: a "
+             ".toml/.json file or a built-in name (repeatable; see "
+             "'repro scenarios list')")
+    run_parser.add_argument(
         "--jobs", "-j", default=None,
         help="parallel simulation workers: N, or 'auto' for one per CPU "
              "(default: $REPRO_JOBS, serial when unset)")
@@ -147,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--quiet", "-q", action="store_true",
                             help="suppress per-experiment tables")
     run_parser.set_defaults(handler=_cmd_run)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios", help="inspect the declarative scenario registry")
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command",
+                                                    required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="list built-in scenarios and example scenario files")
+    scenarios_list.set_defaults(handler=_cmd_scenarios_list)
     return parser
 
 
@@ -184,7 +204,84 @@ class _scoped_environ:
         return False
 
 
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenario import list_scenarios
+
+    builtin = list_scenarios()
+    width = max(len(name) for name in builtin)
+    print("built-in scenarios (run with: repro run --scenario NAME):")
+    for name, description in builtin.items():
+        print(f"  {name.ljust(width)}  {description}")
+    # Example files live in the repository, not the installed package: look
+    # both in the current directory and next to this source checkout.
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    candidates = [os.path.join("examples", "scenarios"),
+                  os.path.join(repo_root, "examples", "scenarios")]
+    for example_dir in candidates:
+        if not os.path.isdir(example_dir):
+            continue
+        files = sorted(f for f in os.listdir(example_dir)
+                       if f.endswith((".toml", ".json")))
+        if files:
+            print(f"example scenario files ({example_dir}/):")
+            for filename in files:
+                print(f"  {os.path.join(example_dir, filename)}")
+        break
+    return 0
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    """Handle ``repro run --scenario REF [--scenario REF ...]``."""
+    from dataclasses import replace
+
+    from repro import api
+    from repro.analysis.report import format_table
+
+    specs = [api.load_scenario(ref) for ref in args.scenario]
+    overrides = {}
+    if args.refs is not None:
+        overrides["max_refs"] = args.refs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.hardware_scale is not None:
+        overrides["hardware_scale"] = args.hardware_scale
+    if overrides:
+        specs = [replace(spec, **overrides) for spec in specs]
+    for spec in specs:
+        start = time.perf_counter()
+        if not args.quiet:
+            print(f"=== {spec.describe()} ===", flush=True)
+        result = api.simulate(spec)
+        elapsed = time.perf_counter() - start
+        if not args.quiet:
+            rows = [[key, value] for key, value in result.summary().items()]
+            print(format_table(["metric", "value"], rows,
+                               title=f"{spec.name} [{result.system_label}]"))
+            print(f"({elapsed:.1f}s, hash {spec.content_hash()[:12]})\n",
+                  flush=True)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario:
+        # Scenario mode runs single simulations through repro.api; the
+        # figure-experiment flags have no effect there, so reject them
+        # loudly instead of silently ignoring them.
+        conflicting = [flag for flag, value in (
+            ("--figures", args.figures != "all"),
+            ("--workloads", args.workloads is not None),
+            ("--jobs", args.jobs is not None),
+            ("--output", args.output != "EXPERIMENTS.md"),
+        ) if value]
+        if conflicting:
+            raise ConfigurationError(
+                "--scenario cannot be combined with "
+                + "/".join(conflicting)
+                + " (scenario files carry their own run description)")
+        with _scoped_environ(REPRO_CACHE_DIR=args.cache_dir,
+                             REPRO_PROGRESS="1" if args.progress else None):
+            return _run_scenarios(args)
     selected = select_experiments(args.figures)
     # jobs stays a raw string/None here; resolve_jobs (via the engine)
     # understands both, so there is exactly one parser for N / 'auto'.

@@ -1,0 +1,176 @@
+"""TOML loading that works on every supported Python (>= 3.9).
+
+Python 3.11 ships :mod:`tomllib`; on older interpreters — and to honour the
+repository's zero-new-dependency rule — we fall back to a small built-in
+parser covering the subset scenario files use:
+
+* ``key = value`` pairs with string, integer, float, boolean and
+  homogeneous-array values;
+* ``[table]`` and dotted ``[table.subtable]`` headers;
+* ``[[array.of.tables]]`` headers (appending a new table each time);
+* ``#`` comments and blank lines.
+
+Multi-line strings, datetimes, inline tables and dotted keys inside a table
+are *not* supported by the fallback; scenario files should stick to the
+subset above (which :mod:`tomllib`, when present, parses identically).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from repro.common.errors import ConfigurationError
+
+try:  # Python >= 3.11
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on py3.9/3.10 CI
+    _tomllib = None
+
+_HEADER_RE = re.compile(r"^\[(\[?)\s*([A-Za-z0-9_.\-]+)\s*\]?\]$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_\-]+)\s*=\s*(.+)$")
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string: str = ""
+    for char in line:
+        if in_string:
+            if char == in_string:
+                in_string = ""
+        elif char in ("'", '"'):
+            in_string = char
+        elif char == "#":
+            break
+        out.append(char)
+    return "".join(out).strip()
+
+
+def _parse_scalar(token: str) -> Any:
+    token = token.strip()
+    if not token:
+        raise ConfigurationError("empty TOML value")
+    if token[0] in ("'", '"'):
+        if len(token) < 2 or token[-1] != token[0]:
+            raise ConfigurationError(f"unterminated TOML string: {token!r}")
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise ConfigurationError(f"unsupported TOML value: {token!r}")
+
+
+def _split_array_items(body: str) -> List[str]:
+    items, depth, in_string, current = [], 0, "", []
+    for char in body:
+        if in_string:
+            current.append(char)
+            if char == in_string:
+                in_string = ""
+            continue
+        if char in ("'", '"'):
+            in_string = char
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+def _parse_value(token: str) -> Any:
+    token = token.strip()
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise ConfigurationError(f"unterminated TOML array: {token!r}")
+        body = token[1:-1].strip()
+        if not body:
+            return []
+        return [_parse_value(item) for item in _split_array_items(body)]
+    return _parse_scalar(token)
+
+
+def _descend(root: Dict[str, Any], dotted: str) -> Dict[str, Any]:
+    """Walk (creating) a dotted table path; lists resolve to their last item."""
+    node: Any = root
+    for part in dotted.split("."):
+        if isinstance(node, list):
+            node = node[-1]
+        child = node.get(part)
+        if child is None:
+            child = {}
+            node[part] = child
+        node = child
+    if isinstance(node, list):
+        node = node[-1]
+    if not isinstance(node, dict):
+        raise ConfigurationError(f"TOML path {dotted!r} is not a table")
+    return node
+
+
+def _parse_mini_toml(text: str) -> Dict[str, Any]:
+    root: Dict[str, Any] = {}
+    current = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        header = _HEADER_RE.match(line)
+        if header is not None:
+            is_array = header.group(1) == "["
+            dotted = header.group(2)
+            if is_array:
+                parent_path, _, leaf = dotted.rpartition(".")
+                parent = _descend(root, parent_path) if parent_path else root
+                tables = parent.setdefault(leaf, [])
+                if not isinstance(tables, list):
+                    raise ConfigurationError(
+                        f"line {lineno}: {dotted!r} is both a table and an array")
+                tables.append({})
+                current = tables[-1]
+            else:
+                current = _descend(root, dotted)
+            continue
+        pair = _KEY_RE.match(line)
+        if pair is None:
+            raise ConfigurationError(
+                f"line {lineno}: unsupported TOML syntax: {raw.strip()!r}")
+        key, value = pair.group(1), _parse_value(pair.group(2))
+        if key in current:
+            raise ConfigurationError(f"line {lineno}: duplicate key {key!r}")
+        current[key] = value
+    return root
+
+
+def load_toml(path: str) -> Dict[str, Any]:
+    """Parse a TOML file into a plain dictionary."""
+    if _tomllib is not None:
+        with open(path, "rb") as handle:
+            return _tomllib.load(handle)
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse_mini_toml(handle.read())
+
+
+def loads_toml(text: str) -> Dict[str, Any]:
+    """Parse TOML source text (used by tests to cover the fallback parser)."""
+    if _tomllib is not None:
+        return _tomllib.loads(text)
+    return _parse_mini_toml(text)  # pragma: no cover - py<3.11 only

@@ -26,8 +26,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_markdown_table, format_table
 from repro.experiments.engine import ProgressCallback, RunSpec, get_engine
-from repro.sim.presets import make_system_config, make_workload_config
-from repro.sim.simulator import SimulationResult, Simulator
+from repro.scenario import ScenarioSpec, WorkloadSpec
+from repro.sim.simulator import SimulationResult
 from repro.workloads.registry import WORKLOAD_NAMES
 
 
@@ -103,11 +103,13 @@ class FigureResult:
 # --------------------------------------------------------------------------- #
 _RESULT_CACHE: Dict[tuple, SimulationResult] = {}
 
-#: Bump whenever the pickled payload's semantics change (e.g. new
-#: :class:`SimulationResult` fields that old cache entries would lack).  The
-#: version is part of the on-disk digest, so stale entries are simply ignored
-#: instead of deserialising into inconsistent results.
-_CACHE_FORMAT_VERSION = 2
+#: Bump whenever the pickled payload's semantics — or the key's semantics —
+#: change (e.g. new :class:`SimulationResult` fields that old cache entries
+#: would lack).  The version is part of the on-disk digest, so stale entries
+#: are simply ignored instead of deserialising into inconsistent results.
+#: v3: keys are canonical :meth:`ScenarioSpec.content_hash` digests (typed,
+#: sorted, label-aware) instead of ad-hoc argument tuples.
+_CACHE_FORMAT_VERSION = 3
 
 #: Exceptions that mean "this cache file's *payload* is unusable — delete it
 #: and recompute".  Truncated pickles raise ``EOFError``/``UnpicklingError``/
@@ -124,16 +126,40 @@ def clear_cache() -> None:
     _RESULT_CACHE.clear()
 
 
+def scenario_for_run(system_name: str, workload: str,
+                     settings: ExperimentSettings,
+                     system_label: Optional[str] = None,
+                     **system_overrides) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` equivalent of a legacy ``run_one`` call.
+
+    This is the bridge between the positional experiment surface and the
+    declarative one: the returned spec builds the identical simulator, and
+    its content hash is the run's cache identity — canonical (sorted, typed)
+    regardless of how the overrides were spelled.
+    """
+    return ScenarioSpec(
+        name=f"{system_name}/{workload}",
+        system=system_name,
+        system_overrides=tuple(sorted(system_overrides.items())),
+        workload=WorkloadSpec(kind="workload", workload=workload),
+        max_refs=settings.max_refs,
+        seed=settings.seed,
+        warmup_fraction=settings.warmup_fraction,
+        hardware_scale=settings.hardware_scale,
+        label=system_label,
+    )
+
+
 def _cache_key(system_name: str, workload: str, settings: ExperimentSettings,
-               **overrides) -> tuple:
-    return (system_name, workload, settings.max_refs, settings.hardware_scale,
-            settings.warmup_fraction, settings.seed,
-            tuple(sorted(overrides.items())))
+               system_label: Optional[str] = None, **overrides) -> tuple:
+    spec = scenario_for_run(system_name, workload, settings,
+                            system_label=system_label, **overrides)
+    return ("scenario", spec.content_hash())
 
 
 def _spec_key(spec: RunSpec, settings: ExperimentSettings) -> tuple:
     return _cache_key(spec.system_name, spec.workload, settings,
-                      **dict(spec.overrides))
+                      system_label=spec.system_label, **dict(spec.overrides))
 
 
 def peek_cached(spec: RunSpec,
@@ -210,18 +236,14 @@ def _store_cached_result(disk_path: str, result: SimulationResult) -> None:
                 pass
 
 
-def run_one(system_name: str, workload: str,
-            settings: Optional[ExperimentSettings] = None,
-            system_label: Optional[str] = None,
-            **system_overrides) -> SimulationResult:
-    """Run (or fetch from cache) one workload on one named system.
+def cached_simulation(content_hash: str, compute) -> SimulationResult:
+    """Run ``compute()`` through the in-process and on-disk result caches.
 
-    ``system_overrides`` are forwarded to
-    :func:`repro.sim.presets.make_system_config` (e.g. ``l3_latency=25`` or
-    ``l2_cache_bytes=4*1024*1024``).
+    ``content_hash`` is a :meth:`ScenarioSpec.content_hash` digest; it is the
+    single cache identity shared by every route into a run (legacy
+    ``run_one`` arguments, scenario files, :func:`repro.api.simulate`).
     """
-    settings = settings or ExperimentSettings()
-    key = _cache_key(system_name, workload, settings, **system_overrides)
+    key = ("scenario", content_hash)
     if key in _RESULT_CACHE:
         return _RESULT_CACHE[key]
     disk_path = _disk_cache_path(key)
@@ -230,20 +252,31 @@ def run_one(system_name: str, workload: str,
         if result is not None:
             _RESULT_CACHE[key] = result
             return result
-
-    system_config = make_system_config(system_name, hardware_scale=settings.hardware_scale,
-                                       **system_overrides)
-    if system_label:
-        system_config.label = system_label
-    workload_config = make_workload_config(workload, max_refs=settings.max_refs,
-                                           seed=settings.seed)
-    simulator = Simulator.from_configs(system_config, workload_config,
-                                       warmup_fraction=settings.warmup_fraction)
-    result = simulator.run()
+    result = compute()
     _RESULT_CACHE[key] = result
     if disk_path:
         _store_cached_result(disk_path, result)
     return result
+
+
+def run_one(system_name: str, workload: str,
+            settings: Optional[ExperimentSettings] = None,
+            system_label: Optional[str] = None,
+            **system_overrides) -> SimulationResult:
+    """Run (or fetch from cache) one workload on one named system.
+
+    ``system_overrides`` are forwarded to
+    :func:`repro.sim.presets.make_system_config` (e.g. ``l3_latency=25`` or
+    ``l2_cache_bytes=4*1024*1024``).  The run is expressed as a
+    :class:`ScenarioSpec` and executed through :func:`repro.api.simulate`,
+    so it shares cache entries with equivalent declarative scenarios.
+    """
+    from repro import api
+
+    settings = settings or ExperimentSettings()
+    spec = scenario_for_run(system_name, workload, settings,
+                            system_label=system_label, **system_overrides)
+    return api.simulate(spec)
 
 
 def run_matrix(system_names: Sequence[str],

@@ -107,6 +107,15 @@ class DramTimingConfig:
     row_miss_latency: int = 170
     num_banks: int = 16
 
+    def validate(self) -> None:
+        if self.row_hit_latency <= 0 or self.row_miss_latency <= 0:
+            raise ConfigurationError("DRAM latencies must be positive")
+        if self.row_miss_latency < self.row_hit_latency:
+            raise ConfigurationError(
+                "DRAM row-miss latency must be >= row-hit latency")
+        if self.num_banks <= 0:
+            raise ConfigurationError("DRAM needs at least one bank")
+
 
 @dataclass
 class VictimaConfig:
@@ -130,6 +139,16 @@ class PomTLBConfig:
     entries: int = 64 * 1024
     associativity: int = 16
     entry_size_bytes: int = 16
+
+    def validate(self) -> None:
+        if self.entries <= 0 or self.associativity <= 0:
+            raise ConfigurationError(
+                "POM-TLB entries and associativity must be positive")
+        if self.entries % self.associativity != 0:
+            raise ConfigurationError(
+                "POM-TLB entries must be a multiple of associativity")
+        if self.entry_size_bytes <= 0:
+            raise ConfigurationError("POM-TLB entry size must be positive")
 
 
 @dataclass
@@ -161,6 +180,8 @@ class SystemConfig:
             cache.validate()
         if self.l3_cache is not None:
             self.l3_cache.validate()
+        self.dram.validate()
+        self.pom_tlb.validate()
         if self.kind is SystemKind.L3_TLB and self.mmu.l3_tlb is None:
             raise ConfigurationError("an L3-TLB system needs mmu.l3_tlb configured")
         if self.kind.uses_victima and self.l2_cache.replacement_policy not in (

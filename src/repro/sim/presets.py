@@ -171,9 +171,11 @@ def _apply_hardware_scale(config: SystemConfig, scale: int) -> None:
         config.l3_cache = _scale_cache(config.l3_cache, scale)
     # The POM-TLB is a software structure in DRAM, but its *capacity relative to
     # the workload footprint* is what determines its hit rate, so it is scaled
-    # together with the rest of the machine to preserve that ratio.
-    config.pom_tlb.entries = max(config.pom_tlb.associativity * 64,
-                                 config.pom_tlb.entries // scale)
+    # together with the rest of the machine to preserve that ratio (rounded to
+    # a whole number of sets so the geometry stays valid).
+    assoc = config.pom_tlb.associativity
+    scaled = (config.pom_tlb.entries // scale // assoc) * assoc
+    config.pom_tlb.entries = max(assoc * 64, scaled)
 
 
 #: Default number of memory references per workload for experiment runs.  The

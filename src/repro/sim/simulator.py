@@ -159,6 +159,26 @@ class Simulator:
                    warmup_fraction=warmup_fraction)
 
     @classmethod
+    def from_scenario(cls, scenario) -> "Simulator":
+        """Build a simulator from a declarative scenario.
+
+        ``scenario`` is anything :func:`repro.scenario.load_scenario` accepts
+        (a :class:`~repro.scenario.ScenarioSpec`, a mapping, a TOML/JSON path
+        or a built-in name).  For a single-workload spec this constructs the
+        exact simulator :meth:`from_configs` would, so both routes produce
+        identical results; composed workload trees (mixes, phases, replays)
+        are materialised through :mod:`repro.traces`.
+        """
+        from repro.scenario import load_scenario
+
+        spec = load_scenario(scenario)
+        workload = spec.build_workload()
+        system = build_system(spec.build_system_config(),
+                              huge_page_fraction=workload.huge_page_fraction)
+        return cls(system, workload, epoch_instructions=spec.epoch_instructions,
+                   warmup_fraction=spec.warmup_fraction)
+
+    @classmethod
     def from_simulation_config(cls, config: SimulationConfig,
                                workload_config: WorkloadConfig) -> "Simulator":
         if config.max_refs is not None:

@@ -1,0 +1,303 @@
+"""Combinators that build new workloads out of existing ones.
+
+All combinators return :class:`~repro.workloads.base.Workload` subclasses, so
+anything that consumes a workload — :class:`~repro.sim.simulator.Simulator`,
+:func:`repro.api.simulate`, :func:`repro.traces.record` — accepts a composed
+stream exactly like a primitive generator.  Composition is lazy: no reference
+is materialised until the simulator pulls it.
+
+Address-space isolation
+-----------------------
+:func:`mix` models multiple tenants sharing one machine.  Each component is
+remapped into its own *slot*: a disjoint ``TENANT_STRIDE``-sized window of the
+virtual address space (and a disjoint instruction-pointer range so prefetcher
+training never aliases across tenants).  The remapped streams interleave on
+one MMU and one cache hierarchy, producing the shared-L2/L3 and
+TLB-block-capacity pressure that single-workload runs cannot express.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig
+
+#: Virtual-address window reserved per mix tenant.  Equal to ``REGION_BASE``,
+#: so slot *i* shifts a workload's canonical layout up by *i* windows.
+TENANT_STRIDE = Workload.REGION_BASE
+
+#: Instruction-pointer window reserved per tenant (keeps prefetcher state
+#: per-tenant; synthetic IPs are tiny compared to this stride).
+IP_STRIDE = 1 << 60
+
+#: Slots beyond this would push addresses past the 48-bit virtual address
+#: space covered by the four-level radix page table.
+MAX_SLOTS = 14
+
+
+class ComposedWorkload(Workload):
+    """Base class for workloads derived from other workloads.
+
+    Subclasses own a synthetic :class:`~repro.workloads.base.WorkloadConfig`
+    (name, total ``max_refs``, scheduling seed) and delegate address-space
+    metadata (regions, huge-page mix) to their components.
+    """
+
+    name = "composed"
+
+    def __init__(self, config: WorkloadConfig, components: Sequence[Workload]):
+        super().__init__(config)
+        if not components:
+            raise ValueError("a composed workload needs at least one component")
+        seen_ids = set()
+        for component in components:
+            if id(component) in seen_ids:
+                raise ValueError(
+                    "the same workload instance was passed twice; components "
+                    "hold generator state and cannot be shared — build a "
+                    "second instance instead")
+            seen_ids.add(id(component))
+        self.components: Tuple[Workload, ...] = tuple(components)
+        self.name = config.name
+
+    def memory_regions(self) -> List[Tuple[int, int]]:
+        regions: List[Tuple[int, int]] = []
+        seen = set()
+        for component in self.components:
+            for region in component.memory_regions():
+                if region not in seen:
+                    seen.add(region)
+                    regions.append(region)
+        return regions
+
+    @property
+    def huge_page_fraction(self) -> float:
+        if self.config.huge_page_fraction is not None:
+            return self.config.huge_page_fraction
+        fractions = [component.huge_page_fraction for component in self.components]
+        return sum(fractions) / len(fractions)
+
+
+class RemappedWorkload(ComposedWorkload):
+    """A workload shifted into a disjoint tenant slot of the address space."""
+
+    def __init__(self, inner: Workload, slot: int):
+        if not 0 <= slot <= MAX_SLOTS:
+            raise ValueError(f"tenant slot must be in [0, {MAX_SLOTS}], got {slot}")
+        config = WorkloadConfig(
+            name=inner.name if slot == 0 else f"{inner.name}@{slot}",
+            max_refs=inner.config.max_refs,
+            seed=inner.config.seed,
+            huge_page_fraction=inner.config.huge_page_fraction,
+            mean_instruction_gap=inner.config.mean_instruction_gap,
+            footprint_scale=inner.config.footprint_scale,
+        )
+        super().__init__(config, [inner])
+        self.inner = inner
+        self.slot = slot
+        self.vaddr_offset = slot * TENANT_STRIDE
+        self.ip_offset = slot * IP_STRIDE
+
+    def memory_regions(self) -> List[Tuple[int, int]]:
+        return [(base + self.vaddr_offset, size)
+                for base, size in self.inner.memory_regions()]
+
+    @property
+    def huge_page_fraction(self) -> float:
+        return self.inner.huge_page_fraction
+
+    def generate(self) -> Iterator[MemoryRef]:
+        vshift, ipshift = self.vaddr_offset, self.ip_offset
+        for ref in self.inner.generate():
+            yield MemoryRef(ip=ref.ip + ipshift, vaddr=ref.vaddr + vshift,
+                            is_write=ref.is_write,
+                            instruction_gap=ref.instruction_gap)
+
+
+class MixWorkload(ComposedWorkload):
+    """Weighted deterministic interleaving of remapped tenant workloads.
+
+    Each scheduling step draws one tenant (probability proportional to its
+    weight) from the mix's own seeded RNG and emits that tenant's next
+    reference; exhausted tenants leave the rotation.  The schedule depends
+    only on ``(weights, seed)``, so a mix replays bit-identically.
+    """
+
+    def __init__(self, config: WorkloadConfig, components: Sequence[Workload],
+                 weights: Sequence[float]):
+        super().__init__(config, components)
+        if len(weights) != len(components):
+            raise ValueError("need exactly one weight per component")
+        if any(w <= 0 for w in weights):
+            raise ValueError("mix weights must be positive")
+        self.weights: Tuple[float, ...] = tuple(float(w) for w in weights)
+
+    def generate(self) -> Iterator[MemoryRef]:
+        streams = [component.bounded() for component in self.components]
+        weights = list(self.weights)
+        rng = self.rng
+        while streams:
+            if len(streams) == 1:
+                yield from streams[0]
+                return
+            index = rng.choices(range(len(streams)), weights=weights)[0]
+            try:
+                yield next(streams[index])
+            except StopIteration:
+                del streams[index]
+                del weights[index]
+
+
+class PhasedWorkload(ComposedWorkload):
+    """Sequential phases: each component runs to exhaustion, then the next.
+
+    Phases are *not* remapped — they model one process whose behaviour
+    changes over time, re-touching (and re-pressuring) the same address
+    space with a different access pattern.
+    """
+
+    def generate(self) -> Iterator[MemoryRef]:
+        for component in self.components:
+            yield from component.bounded()
+
+
+class DilatedWorkload(ComposedWorkload):
+    """Scales the instruction gap between references by a constant factor.
+
+    ``gap_scale > 1`` spreads the same reference stream over more
+    instructions (lower memory intensity, lower MPKI at equal miss counts);
+    ``gap_scale < 1`` concentrates it.
+    """
+
+    def __init__(self, inner: Workload, gap_scale: float):
+        if gap_scale <= 0:
+            raise ValueError("gap_scale must be positive")
+        config = WorkloadConfig(
+            name=f"dilate({inner.name},x{gap_scale:g})",
+            max_refs=inner.config.max_refs,
+            seed=inner.config.seed,
+            huge_page_fraction=inner.config.huge_page_fraction,
+            footprint_scale=inner.config.footprint_scale,
+        )
+        super().__init__(config, [inner])
+        self.inner = inner
+        self.gap_scale = float(gap_scale)
+
+    @property
+    def huge_page_fraction(self) -> float:
+        return self.inner.huge_page_fraction
+
+    def generate(self) -> Iterator[MemoryRef]:
+        scale = self.gap_scale
+        for ref in self.inner.generate():
+            gap = max(1, round(ref.instruction_gap * scale))
+            yield MemoryRef(ip=ref.ip, vaddr=ref.vaddr, is_write=ref.is_write,
+                            instruction_gap=gap)
+
+
+class ShardedWorkload(ComposedWorkload):
+    """Every ``count``-th reference of the inner stream, starting at ``index``.
+
+    Models splitting one trace across ``count`` instances (the slice an
+    individual core would replay).  The shard still touches the full shared
+    data structures, so its regions are the inner workload's regions.
+    """
+
+    def __init__(self, inner: Workload, index: int, count: int):
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError("shard index must be in [0, count)")
+        config = WorkloadConfig(
+            name=f"shard({inner.name},{index}/{count})",
+            max_refs=max(1, inner.config.max_refs // count),
+            seed=inner.config.seed,
+            huge_page_fraction=inner.config.huge_page_fraction,
+            footprint_scale=inner.config.footprint_scale,
+        )
+        super().__init__(config, [inner])
+        self.inner = inner
+        self.index = index
+        self.count = count
+
+    @property
+    def huge_page_fraction(self) -> float:
+        return self.inner.huge_page_fraction
+
+    def generate(self) -> Iterator[MemoryRef]:
+        sliced = itertools.islice(self.inner.bounded(), self.index, None, self.count)
+        yield from sliced
+
+
+# --------------------------------------------------------------------------- #
+# Functional entry points
+# --------------------------------------------------------------------------- #
+def remap(workload: Workload, slot: int) -> RemappedWorkload:
+    """Shift ``workload`` into tenant ``slot`` (a disjoint address window)."""
+    return RemappedWorkload(workload, slot)
+
+
+def mix(workloads: Sequence[Workload], weights: Optional[Sequence[float]] = None,
+        seed: int = 0, max_refs: Optional[int] = None,
+        huge_page_fraction: Optional[float] = None) -> MixWorkload:
+    """Interleave several workloads as co-running tenants.
+
+    Each workload is remapped into its own address-space slot (component
+    *i* → slot *i*), then the streams are interleaved by weighted random
+    scheduling driven by ``seed``.  ``max_refs`` bounds the total mixed
+    stream; it defaults to the sum of the component budgets, so every
+    component is fully drained.
+    """
+    if not workloads:
+        raise ValueError("mix() needs at least one workload")
+    if len(workloads) > MAX_SLOTS + 1:
+        raise ValueError(f"mix() supports at most {MAX_SLOTS + 1} tenants")
+    if len({id(workload) for workload in workloads}) != len(workloads):
+        raise ValueError(
+            "the same workload instance was passed twice; components hold "
+            "generator state and cannot be shared — build a second instance")
+    for workload in workloads:
+        for base, size in workload.memory_regions():
+            if not (TENANT_STRIDE <= base and base + size <= 2 * TENANT_STRIDE):
+                raise ValueError(
+                    f"workload {workload.name!r} already spans addresses outside "
+                    "the canonical slot-0 window, so remapping it into a tenant "
+                    "slot would overlap its siblings — nested mixes and "
+                    "pre-remapped workloads cannot be tenants of another mix")
+    if weights is None:
+        weights = [1.0] * len(workloads)
+    tenants = [remap(workload, slot) for slot, workload in enumerate(workloads)]
+    total = sum(workload.config.max_refs for workload in workloads)
+    config = WorkloadConfig(
+        name="mix(" + "+".join(t.name for t in tenants) + ")",
+        max_refs=max_refs if max_refs is not None else total,
+        seed=seed,
+        huge_page_fraction=huge_page_fraction,
+    )
+    return MixWorkload(config, tenants, weights)
+
+
+def phased(workloads: Sequence[Workload], max_refs: Optional[int] = None,
+           huge_page_fraction: Optional[float] = None) -> PhasedWorkload:
+    """Concatenate workloads as sequential phases of one process."""
+    if not workloads:
+        raise ValueError("phased() needs at least one workload")
+    total = sum(workload.config.max_refs for workload in workloads)
+    config = WorkloadConfig(
+        name="phased(" + "->".join(w.name for w in workloads) + ")",
+        max_refs=max_refs if max_refs is not None else total,
+        seed=workloads[0].config.seed,
+        huge_page_fraction=huge_page_fraction,
+    )
+    return PhasedWorkload(config, workloads)
+
+
+def dilate(workload: Workload, gap_scale: float) -> DilatedWorkload:
+    """Scale the non-memory instruction gap between references."""
+    return DilatedWorkload(workload, gap_scale)
+
+
+def shard(workload: Workload, index: int, count: int) -> ShardedWorkload:
+    """Take shard ``index`` of ``count`` round-robin slices of the stream."""
+    return ShardedWorkload(workload, index, count)

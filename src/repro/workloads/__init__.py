@@ -7,6 +7,11 @@ memory references whose structure (footprint, irregularity, spatial locality,
 huge-page mix) matches the original workload's qualitative behaviour — the
 property that drives TLB and cache statistics, which is all the evaluation
 depends on.
+
+Workloads compose: :mod:`repro.traces` provides combinators (multi-tenant
+``mix``, sequential ``phased``, ``remap``/``shard``/``dilate`` and binary
+trace ``record``/``replay``) that turn these generators into arbitrary
+scenario streams.
 """
 
 from repro.workloads.base import MemoryRef, Workload, WorkloadConfig

@@ -168,7 +168,7 @@ class TestDiskCacheSharing:
         def _boom(*args, **kwargs):
             raise AssertionError("simulation ran despite a populated disk cache")
 
-        monkeypatch.setattr("repro.experiments.runner.Simulator.from_configs", _boom)
+        monkeypatch.setattr("repro.sim.simulator.Simulator.from_scenario", _boom)
         serial = run_matrix(("radix",), TINY, jobs=1)
         for workload in TINY.workloads:
             assert serial[workload]["radix"] == parallel[workload]["radix"]
