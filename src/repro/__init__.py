@@ -37,7 +37,7 @@ The public API is organised by subsystem:
     runs through it.
 ``repro.sim``
     Simulation configuration, the system factory, the trace-driven simulator
-    loop and statistics.
+    loop (single-core and the multi-core ready-core scheduler) and statistics.
 ``repro.analysis``
     CACTI-style TLB latency/area scaling, McPAT-style overheads and metrics.
 ``repro.experiments``
@@ -61,11 +61,12 @@ from repro.sim.config import (
 )
 from repro.api import compare, simulate
 from repro.scenario import ScenarioSpec, WorkloadSpec, load_scenario
-from repro.sim.simulator import SimulationResult, Simulator
-from repro.sim.system import System, build_system
+from repro.sim.multicore import MultiCoreSimulator
+from repro.sim.simulator import CoreResult, SimulationResult, Simulator
+from repro.sim.system import MultiCoreSystem, System, build_system
 from repro.workloads.registry import WORKLOAD_NAMES, make_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ScenarioSpec",
@@ -81,8 +82,11 @@ __all__ = [
     "TLBConfig",
     "VictimaConfig",
     "SimulationResult",
+    "CoreResult",
     "Simulator",
+    "MultiCoreSimulator",
     "System",
+    "MultiCoreSystem",
     "build_system",
     "WORKLOAD_NAMES",
     "make_workload",

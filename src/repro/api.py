@@ -15,22 +15,13 @@ the examples — ultimately runs simulations through two functions:
     Run a ``systems × workloads`` matrix through the parallel execution
     engine and return ``{workload: {system: result}}``.
 
-Quick start::
+Scenarios with ``num_cores > 1`` run on the multi-core engine
+(:mod:`repro.sim.multicore`) transparently: the same :func:`simulate` call
+returns a result carrying per-core statistics in
+:attr:`~repro.sim.simulator.SimulationResult.per_core`.
 
-    from repro import api
-
-    # Declarative: a built-in scenario (or a path to your own TOML).
-    result = api.simulate("two_tenant_mix")
-
-    # Programmatic: build the spec directly.
-    from repro.scenario import ScenarioSpec, WorkloadSpec
-    spec = ScenarioSpec(system="victima",
-                        workload=WorkloadSpec(kind="workload", workload="bfs"),
-                        max_refs=10_000)
-    result = api.simulate(spec)
-
-    # A comparison matrix across the engine (parallel with jobs > 1).
-    matrix = api.compare(["radix", "victima"], ["bfs", "rnd"], jobs=4)
+The examples below are doctests (checked by ``python -m doctest src/repro/api.py``
+and ``tests/test_docstrings.py``), so they double as executable documentation.
 """
 
 from __future__ import annotations
@@ -51,12 +42,22 @@ __all__ = [
 ]
 
 
-def build_simulator(scenario) -> Simulator:
-    """Materialise a scenario into a ready-to-run :class:`Simulator`.
+def build_simulator(scenario):
+    """Materialise a scenario into a ready-to-run simulator (without running it).
 
     Useful when the caller wants the assembled :class:`~repro.sim.system.System`
     (e.g. to inspect TLB geometry) before — or instead of — running it.
     ``scenario`` is anything :func:`~repro.scenario.load_scenario` accepts.
+    Returns a :class:`~repro.sim.simulator.Simulator` for single-core specs
+    and a :class:`~repro.sim.multicore.MultiCoreSimulator` when the spec sets
+    ``num_cores > 1``; both expose ``run() -> SimulationResult``.
+
+    >>> from repro import api
+    >>> sim = api.build_simulator("two_tenant_mix")     # built-in scenario
+    >>> sim.system.config.label
+    'Victima'
+    >>> sim.workload.name
+    'mix(bfs+rnd@1)'
     """
     return Simulator.from_scenario(load_scenario(scenario))
 
@@ -76,7 +77,34 @@ def simulate(scenario, *, use_cache: bool = True) -> SimulationResult:
 
     The single-workload fast path is bit-identical to the legacy
     ``Simulator.from_configs(...).run()`` construction; the parity is pinned
-    by ``tests/test_api.py``.
+    by ``tests/test_api.py`` and ``tests/test_multicore.py``.
+
+    >>> from repro import api
+    >>> result = api.simulate({"system": "radix", "workload": "rnd",
+    ...                        "max_refs": 400, "hardware_scale": 16,
+    ...                        "warmup_fraction": 0.0})
+    >>> result.system_label
+    'Radix'
+    >>> result.memory_refs
+    400
+    >>> result.cycles > 0
+    True
+
+    A multi-core scenario pins mix tenants to cores and reports both the
+    aggregate and the per-core breakdown:
+
+    >>> mc = api.simulate({"system": "radix", "num_cores": 2,
+    ...                    "max_refs": 400, "hardware_scale": 16,
+    ...                    "warmup_fraction": 0.0,
+    ...                    "workload": {"tenants": [
+    ...                        {"workload": "bfs", "core": 0},
+    ...                        {"workload": "rnd", "core": 1}]}})
+    >>> mc.num_cores
+    2
+    >>> [core.workload for core in mc.per_core]
+    ['bfs', 'rnd@1']
+    >>> mc.memory_refs == sum(core.memory_refs for core in mc.per_core)
+    True
     """
     spec = load_scenario(scenario)
     if not use_cache:
@@ -88,7 +116,15 @@ def simulate(scenario, *, use_cache: bool = True) -> SimulationResult:
 
 
 def simulate_many(scenarios: Sequence, *, use_cache: bool = True) -> List[SimulationResult]:
-    """Run several scenarios in order (each through the shared cache)."""
+    """Run several scenarios in order (each through the shared cache).
+
+    >>> from repro import api
+    >>> spec = {"system": "radix", "workload": "rnd", "max_refs": 400,
+    ...         "hardware_scale": 16, "warmup_fraction": 0.0}
+    >>> results = api.simulate_many([spec, spec])   # second run hits the cache
+    >>> results[0] is results[1]
+    True
+    """
     return [simulate(scenario, use_cache=use_cache) for scenario in scenarios]
 
 
@@ -103,6 +139,16 @@ def compare(systems: Sequence[str], workloads: Optional[Iterable[str]] = None,
     workloads unless ``REPRO_WORKLOADS`` narrows them), ``jobs`` selects the
     serial or process-pool engine, and ``system_overrides`` are forwarded to
     the preset factory (e.g. ``l3_latency=25``).
+
+    >>> from repro import api
+    >>> from repro.experiments.runner import ExperimentSettings
+    >>> tiny = ExperimentSettings(max_refs=300, hardware_scale=16,
+    ...                           warmup_fraction=0.0, workloads=("rnd",))
+    >>> matrix = api.compare(["radix", "victima"], settings=tiny)
+    >>> sorted(matrix["rnd"])
+    ['radix', 'victima']
+    >>> matrix["rnd"]["victima"].system_kind
+    'victima'
     """
     from repro.experiments.runner import run_matrix
 

@@ -82,13 +82,18 @@ class POMTLB:
     # ------------------------------------------------------------------ #
     # Lookup / insertion
     # ------------------------------------------------------------------ #
-    def lookup(self, vaddr: int, asid: int) -> Tuple[Optional[PageTableEntry], int]:
+    def lookup(self, vaddr: int, asid: int,
+               hierarchy: Optional[CacheHierarchy] = None) -> Tuple[Optional[PageTableEntry], int]:
         """Probe the POM-TLB; returns ``(pte or None, latency)``.
 
         The latency is the cost of fetching the (4 KB and 2 MB) set blocks from
         the memory hierarchy — POM-TLB entries are ordinary cacheable data.
         The two probes proceed in parallel, so the slower one is charged.
+        ``hierarchy`` overrides the default lookup path: in a multi-core
+        system the shared POM-TLB is probed through the *requesting core's*
+        private caches (see :class:`POMTLBPort`).
         """
+        hierarchy = hierarchy if hierarchy is not None else self.hierarchy
         self.stats.lookups += 1
         self._clock += 1
         latency = 0
@@ -96,7 +101,7 @@ class POMTLB:
         for page_size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
             vpn = page_number(vaddr, page_size)
             set_index = self._set_index(vpn)
-            access = self.hierarchy.access_for_ptw(self._set_paddr(set_index))
+            access = hierarchy.access_for_ptw(self._set_paddr(set_index))
             latency = max(latency, access.latency)
             if found is None:
                 entry = self._sets[set_index].get((asid, int(page_size), vpn))
@@ -136,3 +141,33 @@ class POMTLB:
 
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
+
+
+class POMTLBPort:
+    """One core's access port to a *shared* POM-TLB.
+
+    The POM-TLB is a single software structure in DRAM; on a multi-core
+    machine every core probes the same entry array, but the probe's memory
+    accesses travel through the requesting core's private L1/L2 caches before
+    reaching the shared LLC.  A port carries that per-core hierarchy while
+    delegating all state (sets, clock, statistics) to the shared
+    :class:`POMTLB`, so the MMU can hold a port exactly where it would hold
+    the POM-TLB itself.
+    """
+
+    def __init__(self, pom_tlb: POMTLB, hierarchy: CacheHierarchy):
+        self.pom_tlb = pom_tlb
+        self.hierarchy = hierarchy
+
+    def lookup(self, vaddr: int, asid: int) -> Tuple[Optional[PageTableEntry], int]:
+        return self.pom_tlb.lookup(vaddr, asid, hierarchy=self.hierarchy)
+
+    def insert(self, pte: PageTableEntry, asid: int) -> Optional[PageTableEntry]:
+        return self.pom_tlb.insert(pte, asid)
+
+    def contains(self, vaddr: int, asid: int) -> bool:
+        return self.pom_tlb.contains(vaddr, asid)
+
+    @property
+    def stats(self) -> POMTLBStats:
+        return self.pom_tlb.stats

@@ -258,6 +258,15 @@ def _run_scenarios(args: argparse.Namespace) -> int:
             rows = [[key, value] for key, value in result.summary().items()]
             print(format_table(["metric", "value"], rows,
                                title=f"{spec.name} [{result.system_label}]"))
+            if result.per_core:
+                core_rows = [[core.core, core.workload, core.memory_refs,
+                              round(core.cycles, 1), round(core.ipc, 4),
+                              round(core.l2_tlb_mpki, 2), core.page_walks]
+                             for core in result.per_core]
+                print(format_table(
+                    ["core", "workload", "refs", "cycles", "ipc",
+                     "l2_tlb_mpki", "page_walks"],
+                    core_rows, title=f"{spec.name} per-core"))
             print(f"({elapsed:.1f}s, hash {spec.content_hash()[:12]})\n",
                   flush=True)
     return 0

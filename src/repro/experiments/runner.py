@@ -18,6 +18,7 @@ can be made faster or more thorough without code changes:
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -105,11 +106,21 @@ _RESULT_CACHE: Dict[tuple, SimulationResult] = {}
 
 #: Bump whenever the pickled payload's semantics — or the key's semantics —
 #: change (e.g. new :class:`SimulationResult` fields that old cache entries
-#: would lack).  The version is part of the on-disk digest, so stale entries
-#: are simply ignored instead of deserialising into inconsistent results.
+#: would lack).  The version is part of the on-disk digest *and* of the file
+#: name (``run_v<N>_<digest>.pkl``), so stale entries are simply ignored —
+#: with a one-line warning — instead of deserialising into inconsistent
+#: results.  The full v1→v4 history lives in ARCHITECTURE.md.
 #: v3: keys are canonical :meth:`ScenarioSpec.content_hash` digests (typed,
 #: sorted, label-aware) instead of ad-hoc argument tuples.
-_CACHE_FORMAT_VERSION = 3
+#: v4: multi-core engine — scenario hashes include ``num_cores`` (and tenant
+#: ``core`` pins), results gain ``num_cores``/``per_core`` fields, and file
+#: names carry the format version so stale generations are detectable.
+_CACHE_FORMAT_VERSION = 4
+
+_log = logging.getLogger("repro.cache")
+
+#: Cache directories already scanned for stale-generation entries (warn once).
+_STALE_SCANNED: set = set()
 
 #: Exceptions that mean "this cache file's *payload* is unusable — delete it
 #: and recompute".  Truncated pickles raise ``EOFError``/``UnpicklingError``/
@@ -124,6 +135,7 @@ _CACHE_CORRUPTION_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
 def clear_cache() -> None:
     """Drop every memoised simulation result (mainly for tests)."""
     _RESULT_CACHE.clear()
+    _STALE_SCANNED.clear()
 
 
 def scenario_for_run(system_name: str, workload: str,
@@ -174,14 +186,42 @@ def seed_cache(spec: RunSpec, settings: ExperimentSettings,
     _RESULT_CACHE[_spec_key(spec, settings)] = result
 
 
+def _warn_stale_entries(cache_dir: str) -> None:
+    """Log (once per directory) when the cache holds other-generation entries.
+
+    Entries written by a different ``_CACHE_FORMAT_VERSION`` — including the
+    pre-v4 unversioned ``run_<digest>.pkl`` names — are never read or
+    deleted; they are skipped by construction because the version is part of
+    the digest.  This warning makes that silence visible so users know why a
+    warm-looking cache recomputes, and that the stale files can be deleted.
+    """
+    if cache_dir in _STALE_SCANNED:
+        return
+    _STALE_SCANNED.add(cache_dir)
+    prefix = f"run_v{_CACHE_FORMAT_VERSION}_"
+    try:
+        stale = [name for name in os.listdir(cache_dir)
+                 if name.startswith("run_") and name.endswith(".pkl")
+                 and not name.startswith(prefix)]
+    except OSError:
+        return
+    if stale:
+        _log.warning(
+            "skipping %d stale run-cache entr%s in %s (format != v%d); "
+            "these runs will be recomputed — delete the old files to "
+            "reclaim space", len(stale), "y" if len(stale) == 1 else "ies",
+            cache_dir, _CACHE_FORMAT_VERSION)
+
+
 def _disk_cache_path(key: tuple) -> Optional[str]:
     cache_dir = os.environ.get("REPRO_CACHE_DIR")
     if not cache_dir:
         return None
     os.makedirs(cache_dir, exist_ok=True)
+    _warn_stale_entries(cache_dir)
     versioned = (_CACHE_FORMAT_VERSION,) + key
     digest = hashlib.sha256(repr(versioned).encode()).hexdigest()[:24]
-    return os.path.join(cache_dir, f"run_{digest}.pkl")
+    return os.path.join(cache_dir, f"run_v{_CACHE_FORMAT_VERSION}_{digest}.pkl")
 
 
 def _load_cached_result(disk_path: str) -> Optional[SimulationResult]:

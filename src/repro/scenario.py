@@ -30,6 +30,12 @@ A minimal TOML scenario::
     [[workload.tenants]]
     workload = "rnd"
     weight = 1.0
+
+Adding ``num_cores = 2`` at the top level turns the same spec into a
+multi-core run: each tenant may pin itself with ``core = N`` (unpinned
+tenants spread across the least-loaded cores), and the run executes on the
+multi-core engine with per-core statistics in the result (see
+ARCHITECTURE.md, "Multi-core scheduling").
 """
 
 from __future__ import annotations
@@ -55,14 +61,14 @@ WORKLOAD_KINDS = ("workload", "mix", "phased", "dilate", "shard", "replay")
 _NODE_KEYS = {
     "kind", "workload", "weight", "max_refs", "seed", "footprint_scale",
     "huge_page_fraction", "params", "children", "tenants", "phases",
-    "gap_scale", "shard_index", "shard_count", "path",
+    "gap_scale", "shard_index", "shard_count", "path", "core",
 }
 _CHILD_ALIASES = ("children", "tenants", "phases")
 
 _SCENARIO_KEYS = {
     "name", "description", "system", "system_overrides", "workload",
     "max_refs", "epoch_instructions", "seed", "warmup_fraction",
-    "hardware_scale", "label",
+    "hardware_scale", "label", "num_cores",
 }
 
 
@@ -96,8 +102,14 @@ class WorkloadSpec:
     shard_count: int = 1
     #: ``replay`` trace file path.
     path: Optional[str] = None
+    #: Core placement when this node is a tenant of a ``mix`` on a
+    #: multi-core scenario (``num_cores > 1``); ``None`` = least-loaded core.
+    core: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.core is not None and (not isinstance(self.core, int) or self.core < 0):
+            raise ConfigurationError(
+                f"'core' must be a non-negative integer, got {self.core!r}")
         if self.kind not in WORKLOAD_KINDS:
             raise ConfigurationError(
                 f"unknown workload node kind {self.kind!r}; "
@@ -128,6 +140,15 @@ class WorkloadSpec:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_dict(cls, data: Any) -> "WorkloadSpec":
+        """Parse a workload-tree node from its TOML/JSON shape.
+
+        >>> WorkloadSpec.from_dict("bfs").kind
+        'workload'
+        >>> node = WorkloadSpec.from_dict({"tenants": [
+        ...     {"workload": "bfs", "core": 0}, {"workload": "rnd"}]})
+        >>> node.kind, node.children[0].core, node.children[1].core
+        ('mix', 0, None)
+        """
         if isinstance(data, str):
             return cls(kind="workload", workload=data)
         if isinstance(data, WorkloadSpec):
@@ -173,6 +194,7 @@ class WorkloadSpec:
             shard_index=int(data.get("shard_index", 0)),
             shard_count=int(data.get("shard_count", 1)),
             path=data.get("path"),
+            core=(int(data["core"]) if data.get("core") is not None else None),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -182,7 +204,7 @@ class WorkloadSpec:
         if self.weight != 1.0:
             data["weight"] = self.weight
         for key in ("max_refs", "seed", "footprint_scale", "huge_page_fraction",
-                    "path"):
+                    "path", "core"):
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
@@ -217,9 +239,12 @@ class WorkloadSpec:
             budgets = _distribute(max_refs, weights)
             tenants = [child.build(budget, seed)
                        for child, budget in zip(self.children, budgets)]
+            pins = [child.core for child in self.children]
             return combinators.mix(tenants, weights=weights, seed=seed,
                                    max_refs=max_refs,
-                                   huge_page_fraction=self.huge_page_fraction)
+                                   huge_page_fraction=self.huge_page_fraction,
+                                   cores=pins if any(p is not None for p in pins)
+                                   else None)
         if self.kind == "phased":
             budgets = _distribute(max_refs, [1.0] * len(self.children))
             phases = [child.build(budget, seed)
@@ -241,6 +266,7 @@ class WorkloadSpec:
             return self.workload or "?"
         if self.kind == "mix":
             parts = [f"{child.describe()}x{child.weight:g}"
+                     + (f"@c{child.core}" if child.core is not None else "")
                      for child in self.children]
             return "mix(" + "+".join(parts) + ")"
         if self.kind == "phased":
@@ -251,6 +277,14 @@ class WorkloadSpec:
             return (f"shard({self.children[0].describe()},"
                     f"{self.shard_index}/{self.shard_count})")
         return f"replay({os.path.basename(self.path or '?')})"
+
+
+def _pinned_nodes(node: WorkloadSpec) -> List[WorkloadSpec]:
+    """Every node in the tree with an explicit ``core`` placement."""
+    pinned = [node] if node.core is not None else []
+    for child in node.children:
+        pinned.extend(_pinned_nodes(child))
+    return pinned
 
 
 def _distribute(total: int, weights: List[float]) -> List[int]:
@@ -287,6 +321,53 @@ class ScenarioSpec:
     hardware_scale: int = 1
     #: Overrides the preset's display label (reported in results).
     label: Optional[str] = None
+    #: Number of simulated cores.  1 runs the classic single-core engine;
+    #: > 1 requires a ``mix`` workload tree whose tenants are placed on cores
+    #: (``core = N`` per tenant, least-loaded placement for unpinned ones) and
+    #: multi-core engine (:mod:`repro.sim.multicore`).
+    num_cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError(
+                f"num_cores must be >= 1, got {self.num_cores}")
+        if any(key == "num_cores" for key, _ in self.system_overrides):
+            raise ConfigurationError(
+                "set num_cores at the scenario top level, not in system_overrides")
+        pinned = _pinned_nodes(self.workload)
+        if self.num_cores == 1:
+            if pinned:
+                raise ConfigurationError(
+                    "tenant core placement requires num_cores > 1")
+            return
+        if self.workload.kind != "mix":
+            raise ConfigurationError(
+                "num_cores > 1 requires a 'mix' workload tree whose tenants "
+                "are placed on cores")
+        tenants = {id(child) for child in self.workload.children}
+        for node in pinned:
+            if id(node) not in tenants:
+                raise ConfigurationError(
+                    "'core' may only be set on direct tenants of the top-level mix")
+            if node.core >= self.num_cores:
+                raise ConfigurationError(
+                    f"tenant core {node.core} is out of range for "
+                    f"num_cores={self.num_cores}")
+        # A mix whose own budget truncates its tenants has no faithful
+        # per-core split (combinators would reject it at build time); catch
+        # the spec shape here so the error is a ConfigurationError at load
+        # time like every other one.
+        mix_budget = (self.workload.max_refs if self.workload.max_refs is not None
+                      else self.max_refs)
+        weights = [child.weight for child in self.workload.children]
+        derived = _distribute(mix_budget, weights)
+        effective = [child.max_refs if child.max_refs is not None else budget
+                     for child, budget in zip(self.workload.children, derived)]
+        if sum(effective) > mix_budget:
+            raise ConfigurationError(
+                f"multi-core mix is truncating: tenant max_refs sum to "
+                f"{sum(effective)} but the mix budget is {mix_budget}; "
+                "raise the scenario's max_refs or lower the tenants'")
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -306,7 +387,7 @@ class ScenarioSpec:
                 kwargs[key] = str(data[key])
         for key, caster in (("max_refs", int), ("epoch_instructions", int),
                             ("seed", int), ("warmup_fraction", float),
-                            ("hardware_scale", int)):
+                            ("hardware_scale", int), ("num_cores", int)):
             if data.get(key) is not None:
                 kwargs[key] = caster(data[key])
         if "workload" in data:
@@ -342,6 +423,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "warmup_fraction": self.warmup_fraction,
             "hardware_scale": self.hardware_scale,
+            "num_cores": self.num_cores,
         }
         if self.description:
             data["description"] = self.description
@@ -361,7 +443,15 @@ class ScenarioSpec:
         same run reached through different spellings (a TOML file, a built-in
         scenario, a legacy ``run_one`` call) shares one cache entry.  Values
         are encoded with their type, so ``1`` / ``1.0`` / ``True`` never
-        collide.
+        collide.  ``num_cores`` and tenant ``core`` pins are physical and
+        participate.
+
+        >>> a = ScenarioSpec(name="a", system="radix")
+        >>> b = ScenarioSpec(name="b", system="radix")       # name is docs
+        >>> a.content_hash() == b.content_hash()
+        True
+        >>> a.content_hash() == ScenarioSpec(system="victima").content_hash()
+        False
         """
         physical = self.to_dict()
         physical.pop("name", None)
@@ -379,22 +469,50 @@ class ScenarioSpec:
     # Building
     # ------------------------------------------------------------------ #
     def build_workload(self) -> Workload:
-        """Materialise the workload composition tree."""
+        """Materialise the workload composition tree.
+
+        >>> spec = ScenarioSpec.from_dict({
+        ...     "system": "radix", "max_refs": 100,
+        ...     "workload": {"tenants": [{"workload": "bfs"},
+        ...                              {"workload": "rnd"}]}})
+        >>> spec.build_workload().name
+        'mix(bfs+rnd@1)'
+        """
         return self.workload.build(self.max_refs, self.seed)
 
+    def build_core_workloads(self) -> List[Optional[Workload]]:
+        """Materialise one workload stream per core (multi-core scenarios).
+
+        For ``num_cores == 1`` this is ``[build_workload()]``.  Otherwise the
+        top-level mix's tenants are placed on cores (explicit ``core`` pins
+        first, least-loaded cores for the rest) and each core receives its own
+        stream; cores hosting no tenant get ``None`` and idle.
+        """
+        if self.num_cores == 1:
+            return [self.build_workload()]
+        root = self.build_workload()
+        assert isinstance(root, combinators.MixWorkload)  # enforced in __post_init__
+        return root.per_core_workloads(self.num_cores)
+
     def build_system_config(self) -> SystemConfig:
-        """Build (and validate) the system configuration for this scenario."""
+        """Build (and validate) the system configuration for this scenario.
+
+        >>> ScenarioSpec(system="victima").build_system_config().label
+        'Victima'
+        """
         config = make_system_config(self.system,
                                     hardware_scale=self.hardware_scale,
+                                    num_cores=self.num_cores,
                                     **dict(self.system_overrides))
         if self.label:
             config.label = self.label
         return config
 
     def describe(self) -> str:
+        cores = f", cores={self.num_cores}" if self.num_cores > 1 else ""
         return (f"{self.name}: {self.workload.describe()} on {self.system} "
                 f"(refs={self.max_refs}, seed={self.seed}, "
-                f"scale={self.hardware_scale})")
+                f"scale={self.hardware_scale}{cores})")
 
 
 def _replay_digests(node: WorkloadSpec) -> List[str]:
@@ -460,6 +578,22 @@ BUILTIN_SCENARIOS: Dict[str, Dict[str, Any]] = {
             ],
         },
     },
+    "two_core_pinned": {
+        "name": "two_core_pinned",
+        "description": "Two tenants pinned to two cores contending in the "
+                       "shared LLC and page table",
+        "system": "victima",
+        "max_refs": 16_000,
+        "hardware_scale": 8,
+        "num_cores": 2,
+        "workload": {
+            "kind": "mix",
+            "tenants": [
+                {"workload": "bfs", "core": 0},
+                {"workload": "rnd", "core": 1},
+            ],
+        },
+    },
     "phase_change": {
         "name": "phase_change",
         "description": "One process switching phases: PageRank sweep, then "
@@ -479,13 +613,25 @@ BUILTIN_SCENARIOS: Dict[str, Dict[str, Any]] = {
 
 
 def list_scenarios() -> Dict[str, str]:
-    """Name → description of every built-in scenario."""
+    """Name → description of every built-in scenario.
+
+    >>> "two_tenant_mix" in list_scenarios()
+    True
+    >>> "two_core_pinned" in list_scenarios()
+    True
+    """
     return {name: data.get("description", "")
             for name, data in BUILTIN_SCENARIOS.items()}
 
 
 def load_scenario(ref) -> ScenarioSpec:
-    """Resolve a scenario reference: a spec, a dict, a file path or a name."""
+    """Resolve a scenario reference: a spec, a dict, a file path or a name.
+
+    >>> load_scenario("two_tenant_mix").system
+    'victima'
+    >>> load_scenario({"system": "radix", "workload": "rnd"}).describe()
+    'scenario: rnd on radix (refs=20000, seed=42, scale=1)'
+    """
     if isinstance(ref, ScenarioSpec):
         return ref
     if isinstance(ref, Mapping):

@@ -151,6 +151,12 @@ class PomTLBConfig:
             raise ConfigurationError("POM-TLB entry size must be positive")
 
 
+#: Upper bound on ``SystemConfig.num_cores``.  One tenant address-space slot
+#: is reserved per core (see :mod:`repro.traces.combinators`), and slots beyond
+#: 15 would escape the 48-bit virtual address space of the radix page table.
+MAX_CORES = 15
+
+
 @dataclass
 class SystemConfig:
     """A complete evaluated system."""
@@ -173,8 +179,21 @@ class SystemConfig:
     base_cpi: float = 0.35
     #: Core frequency, used only when reporting wall-clock-style numbers.
     frequency_ghz: float = 2.6
+    #: Number of cores.  1 (the default) builds the classic single-core
+    #: :class:`~repro.sim.system.System`; larger values build a
+    #: :class:`~repro.sim.system.MultiCoreSystem` with per-core private
+    #: structures (TLBs, PWCs, walker, L1/L2 caches) around the shared LLC,
+    #: DRAM, page table and POM-TLB.
+    num_cores: int = 1
 
     def validate(self) -> None:
+        if not 1 <= self.num_cores <= MAX_CORES:
+            raise ConfigurationError(
+                f"num_cores must be in [1, {MAX_CORES}], got {self.num_cores}")
+        if self.num_cores > 1 and self.kind.is_virtualized:
+            raise ConfigurationError(
+                "multi-core simulation currently supports native systems only; "
+                f"{self.kind.value!r} requires num_cores=1")
         self.mmu.validate()
         for cache in (self.l1i_cache, self.l1d_cache, self.l2_cache):
             cache.validate()

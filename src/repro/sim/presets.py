@@ -60,8 +60,15 @@ def _parse_entries(token: str) -> int:
 
 def make_system_config(name: str, l3_latency: Optional[int] = None,
                        l2_cache_bytes: Optional[int] = None,
-                       hardware_scale: int = 1) -> SystemConfig:
+                       hardware_scale: int = 1,
+                       num_cores: int = 1) -> SystemConfig:
     """Build the :class:`SystemConfig` for a named evaluated system.
+
+    ``num_cores`` selects the machine width: 1 (the default) is the classic
+    single-core machine every paper figure uses; larger values replicate the
+    private structures per core around the shared LLC/DRAM/page-table (see
+    :mod:`repro.sim.multicore`).  The per-core geometry is identical either
+    way, so ``hardware_scale`` keeps its meaning.
 
     ``hardware_scale`` divides every capacity (TLB entries, cache sizes,
     POM-TLB entries) by the given factor while keeping latencies unchanged.
@@ -133,6 +140,7 @@ def make_system_config(name: str, l3_latency: Optional[int] = None,
         config.l2_cache = CacheConfig(
             l2_cache_bytes, config.l2_cache.associativity, config.l2_cache.latency,
             config.l2_cache.replacement_policy, config.l2_cache.prefetcher)
+    config.num_cores = num_cores
     if hardware_scale > 1:
         _apply_hardware_scale(config, hardware_scale)
     config.validate()

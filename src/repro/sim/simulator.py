@@ -17,15 +17,45 @@ of execution cycles to address translation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import reuse_buckets
 from repro.cache.block import BlockKind
 from repro.cache.hierarchy import MemoryLevel
+from repro.common.errors import ConfigurationError
 from repro.sim.config import SimulationConfig, SystemConfig
-from repro.sim.system import System, build_system
+from repro.sim.system import MultiCoreSystem, System, build_system
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """One core's slice of a multi-core :class:`SimulationResult`.
+
+    Count-style fields sum to the aggregate result's fields; ``cycles`` is
+    this core's busy time, whose maximum over the cores is the aggregate
+    (makespan) cycle count.
+    """
+
+    core: int
+    workload: str
+    instructions: int = 0
+    cycles: float = 0.0
+    memory_refs: int = 0
+    translation_cycles: float = 0.0
+    l1_tlb_misses: int = 0
+    l2_tlb_misses: int = 0
+    page_walks: int = 0
+    data_l2_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_tlb_mpki(self) -> float:
+        return 1000.0 * self.l2_tlb_misses / self.instructions if self.instructions else 0.0
 
 
 @dataclass
@@ -74,6 +104,10 @@ class SimulationResult:
     pages_4k: int = 0
     pages_2m: int = 0
 
+    # Multi-core runs (num_cores > 1): per-core breakdown of the aggregate.
+    num_cores: int = 1
+    per_core: Optional[Tuple[CoreResult, ...]] = None
+
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #
@@ -112,10 +146,18 @@ class SimulationResult:
         return reuse_buckets(self.tlb_block_reuse_histogram)
 
     def summary(self) -> Dict[str, object]:
-        """A flat dictionary of headline metrics (used in reports and examples)."""
-        return {
+        """A flat dictionary of headline metrics (used in reports and examples).
+
+        Single-core runs keep their historic key set; multi-core runs add a
+        ``num_cores`` entry (the per-core breakdown stays in :attr:`per_core`).
+        """
+        summary: Dict[str, object] = {
             "workload": self.workload,
             "system": self.system_label,
+        }
+        if self.num_cores > 1:
+            summary["num_cores"] = self.num_cores
+        summary.update({
             "instructions": self.instructions,
             "cycles": round(self.cycles, 1),
             "ipc": round(self.ipc, 4),
@@ -126,7 +168,8 @@ class SimulationResult:
             "l2_tlb_miss_latency_mean": round(self.l2_tlb_miss_latency_mean, 1),
             "translation_cycle_fraction": round(self.translation_cycle_fraction, 3),
             "footprint_mb": round(self.footprint_bytes / (1 << 20), 1),
-        }
+        })
+        return summary
 
 
 class Simulator:
@@ -141,6 +184,10 @@ class Simulator:
 
     def __init__(self, system: System, workload: Workload,
                  epoch_instructions: int = 10_000, warmup_fraction: float = 0.25):
+        if isinstance(system, MultiCoreSystem):
+            raise ConfigurationError(
+                "this Simulator is single-core; a MultiCoreSystem "
+                "(num_cores > 1) runs on repro.sim.multicore.MultiCoreSimulator")
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         self.system = system
@@ -153,13 +200,18 @@ class Simulator:
                      epoch_instructions: int = 10_000,
                      warmup_fraction: float = 0.25) -> "Simulator":
         """Build the workload, then the system (using the workload's THP mix)."""
+        if system_config.num_cores > 1:
+            raise ConfigurationError(
+                "Simulator.from_configs is single-core; multi-core machines "
+                "take one workload per core — use a num_cores > 1 scenario "
+                "(Simulator.from_scenario) or repro.sim.multicore directly")
         workload = make_workload(workload_config)
         system = build_system(system_config, huge_page_fraction=workload.huge_page_fraction)
         return cls(system, workload, epoch_instructions=epoch_instructions,
                    warmup_fraction=warmup_fraction)
 
     @classmethod
-    def from_scenario(cls, scenario) -> "Simulator":
+    def from_scenario(cls, scenario):
         """Build a simulator from a declarative scenario.
 
         ``scenario`` is anything :func:`repro.scenario.load_scenario` accepts
@@ -168,10 +220,20 @@ class Simulator:
         exact simulator :meth:`from_configs` would, so both routes produce
         identical results; composed workload trees (mixes, phases, replays)
         are materialised through :mod:`repro.traces`.
+
+        A spec with ``num_cores > 1`` returns a
+        :class:`~repro.sim.multicore.MultiCoreSimulator` instead (the two
+        classes share the ``run() -> SimulationResult`` interface); the
+        ``num_cores == 1`` path below is untouched by the multi-core engine,
+        which keeps it bit-identical to the classic simulator.
         """
         from repro.scenario import load_scenario
 
         spec = load_scenario(scenario)
+        if spec.num_cores > 1:
+            from repro.sim.multicore import MultiCoreSimulator
+
+            return MultiCoreSimulator.from_scenario(spec)
         workload = spec.build_workload()
         system = build_system(spec.build_system_config(),
                               huge_page_fraction=workload.huge_page_fraction)

@@ -3,14 +3,21 @@
 A :class:`System` bundles the physical memory, DRAM, cache hierarchy, MMU
 (native or virtualized), and the optional Victima / POM-TLB / L3 TLB back-end,
 wired together exactly as the corresponding row of Table 3 describes.
+
+With ``SystemConfig.num_cores > 1`` the factory instead assembles a
+:class:`MultiCoreSystem`: per-core private structures (L1 I/D + L2 caches,
+the full TLB hierarchy, page-walk caches, a hardware walker, and a Victima
+controller over the private L2) around the shared LLC, DRAM, physical memory,
+page table and — for POM-TLB systems — one shared in-memory POM-TLB that
+every core probes through its own :class:`~repro.baselines.pom_tlb.POMTLBPort`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
-from repro.baselines.pom_tlb import POMTLB
+from repro.baselines.pom_tlb import POMTLB, POMTLBPort
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.prefetcher import IPStridePrefetcher, Prefetcher, StreamPrefetcher
@@ -98,14 +105,19 @@ def _make_cache(name: str, config: CacheConfig, pressure: PressureMonitor) -> Ca
                  replacement_policy=policy)
 
 
-def build_system(config: SystemConfig, huge_page_fraction: float = 0.3) -> System:
-    """Build a :class:`System` for ``config``.
+def build_system(config: SystemConfig,
+                 huge_page_fraction: float = 0.3) -> Union[System, "MultiCoreSystem"]:
+    """Build a :class:`System` (or, with ``num_cores > 1``, a :class:`MultiCoreSystem`).
 
     ``huge_page_fraction`` is workload-dependent (the THP mix the paper
     extracted per workload), so it is supplied by the caller rather than being
-    part of the system configuration.
+    part of the system configuration.  The single-core path is byte-for-byte
+    the pre-multi-core factory, so every existing figure and cache entry built
+    through it is unaffected.
     """
     config.validate()
+    if config.num_cores > 1:
+        return build_multicore_system(config, huge_page_fraction)
     kind = config.kind
 
     physical = PhysicalMemory(config.physical_memory_bytes)
@@ -267,3 +279,185 @@ def _build_virtualized(config, physical, dram, hierarchy, pressure,
                   pressure=pressure, memory_manager=guest_vmm, walker=host_walker,
                   mmu=mmu, maintenance=maintenance, victima=victima, pom_tlb=pom_tlb,
                   nested_walker=nested_walker, shadow_builder=shadow_builder)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-core systems
+# --------------------------------------------------------------------------- #
+@dataclass
+class Core:
+    """One core's private slice of a :class:`MultiCoreSystem`.
+
+    Everything here is private to the core: the L1/L2 caches (the hierarchy
+    object routes misses into the shared LLC/DRAM), the TLB hierarchy, the
+    page-walk caches and walker, the pressure monitor feeding the core's
+    TLB-aware L2 replacement policy, and — on Victima systems — the Victima
+    controller that stores TLB blocks in this core's private L2.  ``pom_tlb``
+    is a :class:`~repro.baselines.pom_tlb.POMTLBPort` onto the shared POM-TLB.
+    """
+
+    core_id: int
+    hierarchy: CacheHierarchy
+    pressure: PressureMonitor
+    walker: PageTableWalker
+    mmu: MMU
+    maintenance: TLBMaintenance
+    victima: Optional[VictimaController] = None
+    pom_tlb: Optional[POMTLBPort] = None
+    l3_tlb: Optional[TLB] = None
+
+    @property
+    def l2_cache(self) -> Cache:
+        return self.hierarchy.l2
+
+    @property
+    def l2_tlb(self) -> TLB:
+        return self.mmu.l2_tlb
+
+    def private_caches(self) -> List[Cache]:
+        """The caches owned by this core (excludes the shared LLC)."""
+        return [self.hierarchy.l1i, self.hierarchy.l1d, self.hierarchy.l2]
+
+
+@dataclass
+class MultiCoreSystem:
+    """A simulated machine with ``num_cores`` cores around shared structures.
+
+    Shared: physical memory, DRAM, the LLC, one address space (the tenants a
+    multi-core scenario pins to cores are isolated by disjoint virtual-address
+    slots, exactly like single-core mixes), its radix page table, and — on
+    POM-TLB systems — the in-memory POM-TLB.  ``shared_pressure`` aggregates
+    instruction/miss events machine-wide for the LLC replacement policy.
+    """
+
+    config: SystemConfig
+    physical: PhysicalMemory
+    dram: DramModel
+    llc: Optional[Cache]
+    shared_pressure: PressureMonitor
+    memory_manager: VirtualMemoryManager
+    cores: List[Core] = field(default_factory=list)
+    pom_tlb: Optional[POMTLB] = None
+
+    @property
+    def is_virtualized(self) -> bool:
+        return False
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def page_table(self):
+        return self.memory_manager.page_table
+
+    def shared_caches(self) -> List[Cache]:
+        return [self.llc] if self.llc is not None else []
+
+
+def build_multicore_system(config: SystemConfig,
+                           huge_page_fraction: float = 0.3) -> MultiCoreSystem:
+    """Assemble a native multi-core machine from ``config``.
+
+    Per-core structures replicate the single-core geometry of ``config`` (so
+    ``hardware_scale`` keeps its meaning per core); the LLC described by
+    ``config.l3_cache`` is instantiated once and shared.
+    """
+    config.validate()
+    kind = config.kind
+    if kind.is_virtualized:  # pragma: no cover - validate() already rejects
+        raise ConfigurationError("multi-core simulation supports native systems only")
+
+    physical = PhysicalMemory(config.physical_memory_bytes)
+    dram = DramModel(DramConfig(
+        row_hit_latency=config.dram.row_hit_latency,
+        row_miss_latency=config.dram.row_miss_latency,
+        num_banks=config.dram.num_banks,
+    ))
+    shared_pressure = PressureMonitor(
+        tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
+        cache_pressure_threshold=config.victima.cache_pressure_threshold,
+    )
+    llc = (_make_cache("LLC", config.l3_cache, shared_pressure)
+           if config.l3_cache is not None else None)
+    memory_manager = VirtualMemoryManager(physical, asid=0,
+                                          huge_page_fraction=huge_page_fraction)
+
+    system = MultiCoreSystem(config=config, physical=physical, dram=dram, llc=llc,
+                             shared_pressure=shared_pressure,
+                             memory_manager=memory_manager)
+
+    # The shared POM-TLB reserves its contiguous physical region once; its
+    # default hierarchy is replaced per lookup by each core's POMTLBPort.
+    hierarchies: List[CacheHierarchy] = []
+    pressures: List[PressureMonitor] = []
+    for _ in range(config.num_cores):
+        pressure = PressureMonitor(
+            tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
+            cache_pressure_threshold=config.victima.cache_pressure_threshold,
+        )
+        hierarchy = CacheHierarchy(
+            _make_cache("L1-I", config.l1i_cache, pressure),
+            _make_cache("L1-D", config.l1d_cache, pressure),
+            _make_cache("L2", config.l2_cache, pressure),
+            llc, dram,
+            l1d_prefetcher=_make_prefetcher(config.l1d_cache.prefetcher),
+            l2_prefetcher=_make_prefetcher(config.l2_cache.prefetcher),
+        )
+        pressures.append(pressure)
+        hierarchies.append(hierarchy)
+
+    shared_pom = (POMTLB(physical, hierarchies[0], entries=config.pom_tlb.entries,
+                         associativity=config.pom_tlb.associativity,
+                         entry_size_bytes=config.pom_tlb.entry_size_bytes)
+                  if kind is SystemKind.POM_TLB else None)
+    system.pom_tlb = shared_pom
+
+    for core_id in range(config.num_cores):
+        pressure = pressures[core_id]
+        hierarchy = hierarchies[core_id]
+        pwcs = PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
+                              config.mmu.pwc_latency)
+        walker = PageTableWalker(hierarchy, pwcs)
+
+        victima = None
+        pom_port = None
+        l3_tlb = None
+        if kind.uses_victima:
+            predictor = ComparatorPTWCostPredictor(BoundingBox(
+                min_frequency=config.victima.predictor_min_frequency,
+                min_cost=config.victima.predictor_min_cost))
+            victima = VictimaController(
+                l2_cache=hierarchy.l2,
+                page_table=memory_manager.page_table,
+                walker=walker,
+                predictor=predictor,
+                pressure=pressure,
+                insert_on_miss=config.victima.insert_on_miss,
+                insert_on_eviction=config.victima.insert_on_eviction,
+                use_predictor=config.victima.use_predictor,
+                bypass_on_low_locality=config.victima.bypass_on_low_locality,
+            )
+        elif kind is SystemKind.POM_TLB:
+            assert shared_pom is not None
+            pom_port = POMTLBPort(shared_pom, hierarchy)
+        elif kind is SystemKind.L3_TLB:
+            l3_tlb = _make_tlb(f"L3-TLB-c{core_id}", config.mmu.l3_tlb)
+
+        l1_itlb = _make_tlb(f"L1-ITLB-c{core_id}", config.mmu.l1_itlb)
+        l1_dtlb_4k = _make_tlb(f"L1-DTLB-4K-c{core_id}", config.mmu.l1_dtlb_4k)
+        l1_dtlb_2m = _make_tlb(f"L1-DTLB-2M-c{core_id}", config.mmu.l1_dtlb_2m)
+        l2_tlb = _make_tlb(f"L2-TLB-c{core_id}", config.mmu.l2_tlb)
+        mmu = MMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, walker, memory_manager,
+                  pressure, l3_tlb=l3_tlb, pom_tlb=pom_port, victima=victima, asid=0)
+
+        tlbs: List[TLB] = [l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb]
+        if l3_tlb is not None:
+            tlbs.append(l3_tlb)
+        maintenance = TLBMaintenance(tlbs, pwcs, victima)
+
+        system.cores.append(Core(core_id=core_id, hierarchy=hierarchy,
+                                 pressure=pressure, walker=walker, mmu=mmu,
+                                 maintenance=maintenance, victima=victima,
+                                 pom_tlb=pom_port, l3_tlb=l3_tlb))
+    return system

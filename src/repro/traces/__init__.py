@@ -18,6 +18,12 @@ functions and can be used directly::
     tenants = [make_workload("bfs", max_refs=10_000),
                make_workload("rnd", max_refs=10_000)]
     mixed = mix(tenants, weights=[2.0, 1.0], seed=7)
+
+On a multi-core machine the same mix places its tenants on cores instead of
+interleaving them into one stream: ``mix(tenants, cores=[0, 1])`` records the
+placement and :meth:`~repro.traces.combinators.MixWorkload.per_core_workloads`
+splits the (slot-remapped) tenants into one stream per core for the
+multi-core engine (:mod:`repro.sim.multicore`).
 """
 
 from repro.traces.combinators import (

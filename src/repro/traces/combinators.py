@@ -19,7 +19,7 @@ TLB-block-capacity pressure that single-workload runs cannot express.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.workloads.base import MemoryRef, Workload, WorkloadConfig
 
@@ -122,16 +122,117 @@ class MixWorkload(ComposedWorkload):
     weight) from the mix's own seeded RNG and emits that tenant's next
     reference; exhausted tenants leave the rotation.  The schedule depends
     only on ``(weights, seed)``, so a mix replays bit-identically.
+
+    ``cores`` optionally records a *core placement* (one entry per tenant,
+    ``None`` = balanced default).  Placement does not change this single
+    interleaved stream at all — it is consumed by the multi-core simulator,
+    which calls :meth:`per_core_workloads` to split the tenants into one
+    stream per core instead of drawing from the global interleave.
     """
 
     def __init__(self, config: WorkloadConfig, components: Sequence[Workload],
-                 weights: Sequence[float]):
+                 weights: Sequence[float],
+                 cores: Optional[Sequence[Optional[int]]] = None):
         super().__init__(config, components)
         if len(weights) != len(components):
             raise ValueError("need exactly one weight per component")
         if any(w <= 0 for w in weights):
             raise ValueError("mix weights must be positive")
         self.weights: Tuple[float, ...] = tuple(float(w) for w in weights)
+        if cores is not None:
+            if len(cores) != len(components):
+                raise ValueError("need exactly one core placement per component")
+            for core in cores:
+                if core is not None and (not isinstance(core, int) or core < 0):
+                    raise ValueError(
+                        f"core placements must be non-negative ints or None, got {core!r}")
+        self.cores: Optional[Tuple[Optional[int], ...]] = (
+            tuple(cores) if cores is not None else None)
+
+    # ------------------------------------------------------------------ #
+    # Multi-core placement
+    # ------------------------------------------------------------------ #
+    def core_placement(self, num_cores: int) -> List[int]:
+        """Resolve the per-tenant core assignment for a ``num_cores`` machine.
+
+        Explicit pins are honoured first; unpinned tenants then go, in tenant
+        order, to the least-loaded core (ties broken by lowest core id) —
+        which degenerates to ``index % num_cores`` round-robin when nothing
+        is pinned, and never stacks an unpinned tenant onto a pinned core
+        while another core idles.  Raises ``ValueError`` when a pinned core
+        is outside ``[0, num_cores)``.
+
+        >>> from repro.workloads import make_workload
+        >>> mixed = mix([make_workload("bfs", max_refs=10),
+        ...              make_workload("rnd", max_refs=10)], cores=[1, None])
+        >>> mixed.core_placement(2)      # rnd avoids the pinned core 1
+        [1, 0]
+        """
+        pins = self.cores if self.cores is not None else (None,) * len(self.components)
+        load = [0] * num_cores
+        for index, pin in enumerate(pins):
+            if pin is None:
+                continue
+            if not 0 <= pin < num_cores:
+                raise ValueError(
+                    f"tenant {index} ({self.components[index].name!r}) is pinned "
+                    f"to core {pin}, but the machine has {num_cores} cores")
+            load[pin] += 1
+        placement: List[int] = []
+        for pin in pins:
+            if pin is None:
+                pin = min(range(num_cores), key=lambda c: (load[c], c))
+                load[pin] += 1
+            placement.append(pin)
+        return placement
+
+    def per_core_workloads(self, num_cores: int) -> List[Optional[Workload]]:
+        """Split the tenants into one workload stream per core.
+
+        Each tenant keeps its remapped (slot-isolated) address space and its
+        own reference budget.  A core that hosts several tenants interleaves
+        them with this mix's seed and their relative weights; a core that
+        hosts none gets ``None`` (it idles).  The union of the returned
+        streams is exactly the set of references the single interleaved
+        stream would emit — only the global scheduling order differs, which
+        is the point: on a multi-core machine that order is decided by the
+        simulator's cycle-driven scheduler, not by one RNG.
+
+        That equivalence requires the mix's own ``max_refs`` not to truncate
+        the tenants (a truncated interleave drops refs chosen by the
+        scheduling RNG, which has no faithful per-core split), so a
+        truncating mix is rejected; budget the tenants directly instead.
+        The scenario layer always satisfies this: it distributes the
+        scenario's ``max_refs`` into tenant budgets that sum exactly to it.
+        """
+        total = sum(c.config.max_refs for c in self.components)
+        if self.config.max_refs < total:
+            raise ValueError(
+                f"this mix truncates its tenants (max_refs={self.config.max_refs} "
+                f"< combined tenant budget {total}) and cannot be split per "
+                "core faithfully — set the tenants' own max_refs instead")
+        placement = self.core_placement(num_cores)
+        groups: Dict[int, List[int]] = {}
+        for index, core in enumerate(placement):
+            groups.setdefault(core, []).append(index)
+        per_core: List[Optional[Workload]] = []
+        for core in range(num_cores):
+            members = groups.get(core, [])
+            if not members:
+                per_core.append(None)
+            elif len(members) == 1:
+                per_core.append(self.components[members[0]])
+            else:
+                tenants = [self.components[i] for i in members]
+                config = WorkloadConfig(
+                    name="mix(" + "+".join(t.name for t in tenants) + ")",
+                    max_refs=sum(t.config.max_refs for t in tenants),
+                    seed=self.config.seed,
+                    huge_page_fraction=self.config.huge_page_fraction,
+                )
+                per_core.append(MixWorkload(config, tenants,
+                                            [self.weights[i] for i in members]))
+        return per_core
 
     def generate(self) -> Iterator[MemoryRef]:
         streams = [component.bounded() for component in self.components]
@@ -234,13 +335,22 @@ class ShardedWorkload(ComposedWorkload):
 # Functional entry points
 # --------------------------------------------------------------------------- #
 def remap(workload: Workload, slot: int) -> RemappedWorkload:
-    """Shift ``workload`` into tenant ``slot`` (a disjoint address window)."""
+    """Shift ``workload`` into tenant ``slot`` (a disjoint address window).
+
+    >>> from repro.workloads import make_workload
+    >>> inner = make_workload("rnd", max_refs=4)
+    >>> shifted = remap(make_workload("rnd", max_refs=4), slot=2)
+    >>> base, size = inner.memory_regions()[0]
+    >>> shifted.memory_regions()[0] == (base + 2 * TENANT_STRIDE, size)
+    True
+    """
     return RemappedWorkload(workload, slot)
 
 
 def mix(workloads: Sequence[Workload], weights: Optional[Sequence[float]] = None,
         seed: int = 0, max_refs: Optional[int] = None,
-        huge_page_fraction: Optional[float] = None) -> MixWorkload:
+        huge_page_fraction: Optional[float] = None,
+        cores: Optional[Sequence[Optional[int]]] = None) -> MixWorkload:
     """Interleave several workloads as co-running tenants.
 
     Each workload is remapped into its own address-space slot (component
@@ -248,6 +358,22 @@ def mix(workloads: Sequence[Workload], weights: Optional[Sequence[float]] = None
     scheduling driven by ``seed``.  ``max_refs`` bounds the total mixed
     stream; it defaults to the sum of the component budgets, so every
     component is fully drained.
+
+    ``cores`` optionally pins tenant *i* to a core (one entry per tenant;
+    ``None`` entries go to the least-loaded core).  Placement is metadata for the
+    multi-core simulator — see :meth:`MixWorkload.per_core_workloads` — and
+    leaves the single interleaved stream unchanged.
+
+    >>> from repro.workloads import make_workload
+    >>> mixed = mix([make_workload("bfs", max_refs=30),
+    ...              make_workload("rnd", max_refs=30)],
+    ...             weights=[2.0, 1.0], seed=7, cores=[0, 1])
+    >>> mixed.name
+    'mix(bfs+rnd@1)'
+    >>> len(list(mixed.bounded()))
+    60
+    >>> [w.name for w in mixed.per_core_workloads(num_cores=2)]
+    ['bfs', 'rnd@1']
     """
     if not workloads:
         raise ValueError("mix() needs at least one workload")
@@ -275,12 +401,21 @@ def mix(workloads: Sequence[Workload], weights: Optional[Sequence[float]] = None
         seed=seed,
         huge_page_fraction=huge_page_fraction,
     )
-    return MixWorkload(config, tenants, weights)
+    return MixWorkload(config, tenants, weights, cores=cores)
 
 
 def phased(workloads: Sequence[Workload], max_refs: Optional[int] = None,
            huge_page_fraction: Optional[float] = None) -> PhasedWorkload:
-    """Concatenate workloads as sequential phases of one process."""
+    """Concatenate workloads as sequential phases of one process.
+
+    >>> from repro.workloads import make_workload
+    >>> p = phased([make_workload("pr", max_refs=20),
+    ...             make_workload("bfs", max_refs=10)])
+    >>> p.name
+    'phased(pr->bfs)'
+    >>> len(list(p.bounded()))
+    30
+    """
     if not workloads:
         raise ValueError("phased() needs at least one workload")
     total = sum(workload.config.max_refs for workload in workloads)
@@ -294,10 +429,25 @@ def phased(workloads: Sequence[Workload], max_refs: Optional[int] = None,
 
 
 def dilate(workload: Workload, gap_scale: float) -> DilatedWorkload:
-    """Scale the non-memory instruction gap between references."""
+    """Scale the non-memory instruction gap between references.
+
+    >>> from repro.workloads import make_workload
+    >>> slow = dilate(make_workload("rnd", max_refs=5), gap_scale=3.0)
+    >>> slow.name
+    'dilate(rnd,x3)'
+    >>> refs = list(slow.bounded())
+    >>> all(ref.instruction_gap >= 1 for ref in refs)
+    True
+    """
     return DilatedWorkload(workload, gap_scale)
 
 
 def shard(workload: Workload, index: int, count: int) -> ShardedWorkload:
-    """Take shard ``index`` of ``count`` round-robin slices of the stream."""
+    """Take shard ``index`` of ``count`` round-robin slices of the stream.
+
+    >>> from repro.workloads import make_workload
+    >>> piece = shard(make_workload("rnd", max_refs=40), index=1, count=4)
+    >>> len(list(piece.bounded()))
+    10
+    """
     return ShardedWorkload(workload, index, count)

@@ -1,0 +1,41 @@
+"""Doctest smoke: the example-bearing docstrings of the public surface run.
+
+CI additionally runs ``python -m doctest src/repro/api.py`` directly (the
+documented invocation); this test keeps the same guarantee inside the tier-1
+suite and extends it to the scenario and trace-combinator modules.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.api
+import repro.scenario
+import repro.traces.combinators
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+@pytest.mark.parametrize("module", [
+    repro.api,
+    repro.scenario,
+    repro.traces.combinators,
+], ids=lambda m: m.__name__)
+def test_public_docstring_examples_run(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} should carry doctest examples"
+    assert results.failed == 0
+
+
+def test_api_simulate_docstring_has_example():
+    examples = doctest.DocTestFinder().find(repro.api.simulate)
+    assert any(test.examples for test in examples), (
+        "api.simulate must keep an example-bearing docstring")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to files in the repository.
+
+Usage::
+
+    python tools/check_md_links.py README.md ARCHITECTURE.md [...]
+
+Scans each file for ``[text](target)`` links, skips absolute URLs and
+in-page anchors, and fails (exit 1) listing every relative target that does
+not exist on disk.  Network-free on purpose: CI runs it on every push and
+external URLs would make the job flaky.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: ``[text](target)`` — good enough for the repo's hand-written markdown
+#: (no nested brackets, no reference-style links in use).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: str) -> list:
+    """Return ``(link, resolved_path)`` for every broken relative link."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    base = os.path.dirname(os.path.abspath(path))
+    broken = []
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_md_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        if not os.path.exists(path):
+            print(f"{path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        broken = check_file(path)
+        for target, resolved in broken:
+            print(f"{path}: broken link '{target}' -> {resolved}", file=sys.stderr)
+        failures += len(broken)
+        if not broken:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
