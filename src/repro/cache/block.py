@@ -18,7 +18,6 @@ so a data block and a TLB block can never alias).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 from repro.common.addresses import BLOCK_OFFSET_BITS, PTES_PER_CACHE_BLOCK, PageSize
@@ -62,36 +61,58 @@ def nested_tlb_key(host_vpn: int, vmid: int, page_size: PageSize) -> CacheKey:
     return cluster, ("N", vmid, int(page_size), cluster)
 
 
-@dataclass
 class CacheBlock:
-    """One resident cache block and its metadata."""
+    """One resident cache block and its metadata.
 
-    key: CacheKey
-    kind: BlockKind = BlockKind.DATA
-    dirty: bool = False
-    #: Address-space identifier for TLB / nested TLB blocks (None for data).
-    asid: Optional[int] = None
-    #: Page size covered by each entry of a TLB block (None for data).
-    page_size: Optional[PageSize] = None
-    #: Arbitrary payload; for TLB blocks this is the 8-slot PTE cluster.
-    payload: Any = None
-    #: Whether the block was brought in by a prefetcher (for accuracy stats).
-    prefetched: bool = False
+    A hand-rolled ``__slots__`` class (not a dataclass): one block is built
+    per cache fill, and the ``tag`` / ``is_tlb_block`` accessors sit on the
+    hit path of every cache lookup, so both are precomputed at construction
+    instead of being re-derived through properties.  ``key`` and ``kind``
+    are set once and never reassigned afterwards.
+    """
 
-    # Replacement state --------------------------------------------------- #
-    rrpv: int = 0
-    last_touch: int = 0
+    __slots__ = ("key", "tag", "kind", "is_tlb_block", "dirty", "asid",
+                 "page_size", "payload", "prefetched", "rrpv", "last_touch",
+                 "reuse_count")
 
-    # Reuse tracking ------------------------------------------------------ #
-    reuse_count: int = 0
+    def __init__(
+        self,
+        key: CacheKey,
+        kind: BlockKind = BlockKind.DATA,
+        dirty: bool = False,
+        asid: Optional[int] = None,
+        page_size: Optional[PageSize] = None,
+        payload: Any = None,
+        prefetched: bool = False,
+        rrpv: int = 0,
+        last_touch: int = 0,
+        reuse_count: int = 0,
+    ):
+        self.key = key
+        #: Full tag (``key[1]``), cached for the set-scan comparison loop.
+        self.tag = key[1]
+        self.kind = kind
+        #: Cached ``kind.is_translation`` (the kind never changes).
+        self.is_tlb_block = kind.is_translation
+        self.dirty = dirty
+        #: Address-space identifier for TLB / nested TLB blocks (None for data).
+        self.asid = asid
+        #: Page size covered by each entry of a TLB block (None for data).
+        self.page_size = page_size
+        #: Arbitrary payload; for TLB blocks this is the 8-slot PTE cluster.
+        self.payload = payload
+        #: Whether the block was brought in by a prefetcher (for accuracy stats).
+        self.prefetched = prefetched
+        # Replacement state
+        self.rrpv = rrpv
+        self.last_touch = last_touch
+        # Reuse tracking
+        self.reuse_count = reuse_count
 
-    @property
-    def tag(self) -> tuple:
-        return self.key[1]
-
-    @property
-    def is_tlb_block(self) -> bool:
-        return self.kind.is_translation
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheBlock(key={self.key!r}, kind={self.kind!r}, "
+                f"dirty={self.dirty}, rrpv={self.rrpv}, "
+                f"reuse_count={self.reuse_count})")
 
     def find_translation(self, vpn: int) -> Optional[Any]:
         """For TLB blocks: return the PTE for ``vpn`` if present in the cluster.

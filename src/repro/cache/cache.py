@@ -56,19 +56,24 @@ class CacheStats:
 
 
 class CacheSet:
-    """One set: a list of ways plus the per-set replacement state."""
+    """One set: a list of ways plus the per-set replacement state.
 
-    __slots__ = ("ways", "access_counter")
+    ``tags`` maps the tag of every resident block to its way index, making
+    the residency probe on the simulator's hot path a single dictionary
+    lookup instead of an associativity-wide scan.  The cache keeps the map
+    in sync on every insert/evict/invalidate; replacement policies only ever
+    read ``ways``.
+    """
+
+    __slots__ = ("ways", "access_counter", "tags")
 
     def __init__(self, associativity: int):
         self.ways: List[Optional[CacheBlock]] = [None] * associativity
         self.access_counter = 0
+        self.tags: Dict[tuple, int] = {}
 
     def find(self, tag: tuple) -> Optional[int]:
-        for way, block in enumerate(self.ways):
-            if block is not None and block.tag == tag:
-                return way
-        return None
+        return self.tags.get(tag)
 
     def first_invalid(self) -> Optional[int]:
         for way, block in enumerate(self.ways):
@@ -127,20 +132,22 @@ class Cache:
     def lookup(self, key: CacheKey, update_replacement: bool = True,
                count_access: bool = True) -> Optional[CacheBlock]:
         """Look ``key`` up; on a hit update replacement state and reuse."""
-        cache_set = self._set_for(key)
-        way = cache_set.find(key[1])
+        # Hot path: one dict probe (no _set_for/find calls) because this
+        # runs several times per simulated memory reference.
+        cache_set = self._sets[key[0] & (self.num_sets - 1)]
+        stats = self.stats
         if count_access:
-            self.stats.accesses += 1
+            stats.accesses += 1
+        way = cache_set.tags.get(key[1])
         if way is None:
             if count_access:
-                self.stats.misses += 1
+                stats.misses += 1
             return None
         block = cache_set.ways[way]
-        assert block is not None
         if count_access:
-            self.stats.hits += 1
+            stats.hits += 1
             if block.is_tlb_block:
-                self.stats.tlb_block_hits += 1
+                stats.tlb_block_hits += 1
         if update_replacement:
             block.reuse_count += 1
             if block.prefetched:
@@ -150,7 +157,7 @@ class Cache:
 
     def contains(self, key: CacheKey) -> bool:
         """Residency check with no statistics or replacement side effects."""
-        return self._set_for(key).find(key[1]) is not None
+        return key[1] in self._sets[key[0] & (self.num_sets - 1)].tags
 
     def peek(self, key: CacheKey) -> Optional[CacheBlock]:
         """Return the resident block for ``key`` without any side effects."""
@@ -165,7 +172,7 @@ class Cache:
         place (refreshing its payload) and nothing is evicted.
         """
         cache_set = self._set_for(block.key)
-        existing_way = cache_set.find(block.tag)
+        existing_way = cache_set.tags.get(block.tag)
         block.prefetched = prefetched
         if existing_way is not None:
             old = cache_set.ways[existing_way]
@@ -181,7 +188,9 @@ class Cache:
         if way is None:
             way = self.policy.select_victim(cache_set)
             evicted = cache_set.ways[way]
+            del cache_set.tags[evicted.tag]
         cache_set.ways[way] = block
+        cache_set.tags[block.tag] = way
         self.policy.on_insert(cache_set, block)
         self.stats.fills += 1
         if prefetched:
@@ -195,7 +204,7 @@ class Cache:
     def invalidate(self, key: CacheKey) -> bool:
         """Remove the block for ``key`` if resident.  Returns True if removed."""
         cache_set = self._set_for(key)
-        way = cache_set.find(key[1])
+        way = cache_set.tags.pop(key[1], None)
         if way is None:
             return False
         block = cache_set.ways[way]
@@ -216,6 +225,7 @@ class Cache:
             for way, block in enumerate(cache_set.ways):
                 if block is not None and predicate(block):
                     cache_set.ways[way] = None
+                    del cache_set.tags[block.tag]
                     self._record_eviction(block, invalidation=True)
                     removed += 1
         return removed

@@ -18,7 +18,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cache.block import BlockKind, CacheBlock, data_key
+from repro.cache.block import BlockKind, CacheBlock, CacheKey, data_key
 from repro.cache.cache import Cache
 from repro.cache.prefetcher import Prefetcher
 from repro.memory.dram import DramModel
@@ -82,20 +82,22 @@ class CacheHierarchy:
             self._train_prefetchers(ip, paddr, is_instruction)
             return AccessResult(latency=l1.latency, level=MemoryLevel.L1)
 
-        result = self._access_from_l2(paddr, write=write)
-        self._fill(l1, paddr, dirty=write)
+        result = self._access_from_l2(paddr, write, key)
+        self._fill(l1, key, dirty=write)
         self._train_prefetchers(ip, paddr, is_instruction)
         return result
 
     def access_for_ptw(self, paddr: int) -> AccessResult:
         """Memory access issued by the page-table walker (starts at the L2)."""
-        return self._access_from_l2(paddr, write=False)
+        return self._access_from_l2(paddr, False, data_key(paddr))
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _access_from_l2(self, paddr: int, write: bool) -> AccessResult:
-        key = data_key(paddr)
+    def _access_from_l2(self, paddr: int, write: bool,
+                        key: CacheKey) -> AccessResult:
+        # The key is derived from the address alone; callers build it once
+        # and pass it down instead of paying the construction again here.
         block = self.l2.lookup(key)
         if block is not None:
             if write:
@@ -107,19 +109,18 @@ class CacheHierarchy:
             if block is not None:
                 if write:
                     block.dirty = True
-                self._fill(self.l2, paddr, dirty=write)
+                self._fill(self.l2, key, dirty=write)
                 return AccessResult(latency=self.l3.latency, level=MemoryLevel.L3)
 
         dram_latency = self.dram.access(paddr, write=write)
         base = self.l3.latency if self.l3 is not None else self.l2.latency
         if self.l3 is not None:
-            self._fill(self.l3, paddr, dirty=write)
-        self._fill(self.l2, paddr, dirty=write)
+            self._fill(self.l3, key, dirty=write)
+        self._fill(self.l2, key, dirty=write)
         return AccessResult(latency=base + dram_latency, level=MemoryLevel.DRAM, dram_accesses=1)
 
-    def _fill(self, cache: Cache, paddr: int, dirty: bool = False,
+    def _fill(self, cache: Cache, key: CacheKey, dirty: bool = False,
               prefetched: bool = False) -> Optional[CacheBlock]:
-        key = data_key(paddr)
         block = CacheBlock(key=key, kind=BlockKind.DATA, dirty=dirty)
         return cache.insert(block, prefetched=prefetched)
 
@@ -128,12 +129,14 @@ class CacheHierarchy:
             return
         if self.l1d_prefetcher is not None:
             for target in self.l1d_prefetcher.observe(ip, paddr):
-                if not self.l1d.contains(data_key(target)):
-                    self._fill(self.l1d, target, prefetched=True)
+                key = data_key(target)
+                if not self.l1d.contains(key):
+                    self._fill(self.l1d, key, prefetched=True)
         if self.l2_prefetcher is not None:
             for target in self.l2_prefetcher.observe(ip, paddr):
-                if not self.l2.contains(data_key(target)):
-                    self._fill(self.l2, target, prefetched=True)
+                key = data_key(target)
+                if not self.l2.contains(key):
+                    self._fill(self.l2, key, prefetched=True)
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by experiments and tests

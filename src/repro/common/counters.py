@@ -12,27 +12,32 @@ class SaturatingCounter:
     (Section 5.2).
     """
 
-    __slots__ = ("bits", "value")
+    __slots__ = ("bits", "value", "max_value")
 
     def __init__(self, bits: int, value: int = 0):
         if bits <= 0:
             raise ValueError("a saturating counter needs at least one bit")
         self.bits = bits
+        # Stored (not a property): increments happen several times per
+        # simulated memory reference, so the ceiling must not be recomputed.
+        self.max_value = (1 << bits) - 1
         self.value = min(value, self.max_value)
-
-    @property
-    def max_value(self) -> int:
-        return (1 << self.bits) - 1
 
     def increment(self, amount: int = 1) -> int:
         """Increment, saturating at the maximum value.  Returns the new value."""
-        self.value = min(self.value + amount, self.max_value)
-        return self.value
+        value = self.value + amount
+        if value > self.max_value:
+            value = self.max_value
+        self.value = value
+        return value
 
     def decrement(self, amount: int = 1) -> int:
         """Decrement, saturating at zero.  Returns the new value."""
-        self.value = max(self.value - amount, 0)
-        return self.value
+        value = self.value - amount
+        if value < 0:
+            value = 0
+        self.value = value
+        return value
 
     def reset(self) -> None:
         self.value = 0
@@ -83,6 +88,19 @@ class EventRateMonitor:
     def record_event(self, count: int = 1) -> None:
         self._events_window += count
         self._events_total += count
+
+    def reset(self) -> None:
+        """Zero all accumulated state (window, totals and cached rate).
+
+        Part of the ``reset_stats`` convention: the simulator calls this at
+        the warm-up boundary so that warm-up instructions and events do not
+        contaminate the rate estimate used inside the measured window.
+        """
+        self._events_window = 0
+        self._instr_window = 0
+        self._events_total = 0
+        self._instr_total = 0
+        self._last_rate = 0.0
 
     @property
     def rate_per_kilo_instructions(self) -> float:

@@ -42,7 +42,34 @@ class PressureMonitor:
     def record_l2_cache_miss(self, count: int = 1) -> None:
         self._l2_cache.record_event(count)
 
+    # -- resetting -------------------------------------------------------- #
+    def reset_stats(self) -> None:
+        """Zero both rate monitors (the ``reset_stats`` convention).
+
+        Called at the warm-up boundary: Victima's insertion and replacement
+        decisions inside the measured window must be driven by measured-window
+        pressure only, not by instructions and misses retired during warm-up.
+        The configured thresholds and window length are kept.
+        """
+        self._l2_tlb.reset()
+        self._l2_cache.reset()
+
     # -- reading ---------------------------------------------------------- #
+    @property
+    def total_l2_tlb_misses(self) -> int:
+        """Total L2 TLB misses recorded since construction or ``reset_stats``."""
+        return self._l2_tlb.total_events
+
+    @property
+    def total_l2_cache_misses(self) -> int:
+        """Total L2 cache misses recorded since construction or ``reset_stats``."""
+        return self._l2_cache.total_events
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions recorded since construction or ``reset_stats``."""
+        return self._l2_tlb.total_instructions
+
     @property
     def l2_tlb_mpki(self) -> float:
         return self._l2_tlb.rate_per_kilo_instructions

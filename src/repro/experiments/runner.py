@@ -115,7 +115,10 @@ _RESULT_CACHE: Dict[tuple, SimulationResult] = {}
 #: v4: multi-core engine — scenario hashes include ``num_cores`` (and tenant
 #: ``core`` pins), results gain ``num_cores``/``per_core`` fields, and file
 #: names carry the format version so stale generations are detectable.
-_CACHE_FORMAT_VERSION = 4
+#: v5: warm-up statistics bugfixes (pressure monitors and translation-reach
+#: samples reset at the measurement boundary) change measured results, so
+#: pre-fix cache entries must not be reused.
+_CACHE_FORMAT_VERSION = 5
 
 _log = logging.getLogger("repro.cache")
 

@@ -86,8 +86,9 @@ class VirtualMemoryManager:
     # ------------------------------------------------------------------ #
     def ensure_mapped(self, vaddr: int) -> PageTableEntry:
         """Return the PTE covering ``vaddr``, demand-allocating it if needed."""
-        if self.page_table.is_mapped(vaddr):
-            return self.page_table.translate(vaddr)
+        pte = self.page_table.lookup(vaddr)
+        if pte is not None:
+            return pte
         self.stats.demand_faults += 1
         if self._region_is_huge(vaddr):
             page_size = PageSize.SIZE_2M

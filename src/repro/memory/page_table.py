@@ -194,6 +194,14 @@ class RadixPageTable:
         self._root = self._new_node(level=0)
         self.num_nodes = 1
         self.num_leaf_entries = 0
+        # Functional-lookup memo: 4K page number -> leaf PTE.  Purely an
+        # accelerator for :meth:`lookup` (the radix structure stays the source
+        # of truth); cleared on any map/unmap so it can never serve a stale
+        # entry.  A 2 MB page appears under each of its 4K-page keys lazily.
+        self._leaf_memo: Dict[int, PageTableEntry] = {}
+        # Same idea for :meth:`walk`: the step sequence of a walk depends only
+        # on the radix structure, so it is immutable between table changes.
+        self._walk_memo: Dict[int, WalkPath] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -235,6 +243,8 @@ class RadixPageTable:
             old.valid = False
         else:
             self.num_leaf_entries += 1
+        self._leaf_memo.clear()
+        self._walk_memo.clear()
         pte = PageTableEntry(
             vpn=vpn,
             pfn=pfn,
@@ -254,6 +264,8 @@ class RadixPageTable:
         del node.leaves[leaf_index]
         pte.valid = False
         self.num_leaf_entries -= 1
+        self._leaf_memo.clear()
+        self._walk_memo.clear()
         return pte
 
     # ------------------------------------------------------------------ #
@@ -273,22 +285,50 @@ class RadixPageTable:
             node = child
         return None
 
-    def translate(self, vaddr: int) -> PageTableEntry:
-        """Functional translation (no timing).  Raises on unmapped addresses."""
+    def lookup(self, vaddr: int) -> Optional[PageTableEntry]:
+        """Functional lookup of the leaf PTE covering ``vaddr`` (no timing).
+
+        Returns ``None`` when unmapped.  Memoised by 4K page number — the
+        demand-paging check in :meth:`VirtualMemoryManager.ensure_mapped`
+        runs once per simulated memory reference, and one dictionary probe
+        replaces the four-level radix descent on the (overwhelmingly common)
+        already-mapped case.
+        """
+        key = vaddr >> 12
+        pte = self._leaf_memo.get(key)
+        if pte is not None:
+            return pte
         found = self._find(vaddr)
         if found is None:
+            return None
+        pte = found[2]
+        self._leaf_memo[key] = pte
+        return pte
+
+    def translate(self, vaddr: int) -> PageTableEntry:
+        """Functional translation (no timing).  Raises on unmapped addresses."""
+        pte = self.lookup(vaddr)
+        if pte is None:
             raise TranslationFault(vaddr, self.asid)
-        return found[2]
+        return pte
 
     def is_mapped(self, vaddr: int) -> bool:
-        return self._find(vaddr) is not None
+        return self.lookup(vaddr) is not None
 
     def walk(self, vaddr: int) -> WalkPath:
         """Return the sequence of entry accesses a hardware walker performs.
 
         For a 4 KB page this is four steps (PML4 → PDPT → PD → PT); for a 2 MB
         page it is three.  Raises :class:`TranslationFault` if unmapped.
+        Successful paths are memoised by 4K page number (and invalidated on
+        any map/unmap) — the walker replays the same access sequence every
+        time it walks the same page, which is the common case inside a
+        simulation window whose page table was fully pre-faulted.
         """
+        memo_key = vaddr >> 12
+        path = self._walk_memo.get(memo_key)
+        if path is not None:
+            return path
         indices = radix_indices(vaddr)
         steps: List[WalkStep] = []
         node = self._root
@@ -298,7 +338,9 @@ class RadixPageTable:
             steps.append(WalkStep(level=level, node_paddr=node.frame_paddr, entry_paddr=entry_paddr))
             leaf = node.leaves.get(index)
             if leaf is not None:
-                return WalkPath(steps=steps, pte=leaf)
+                path = WalkPath(steps=steps, pte=leaf)
+                self._walk_memo[memo_key] = path
+                return path
             child = node.children.get(index)
             if child is None:
                 raise TranslationFault(vaddr, self.asid)

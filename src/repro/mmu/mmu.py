@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.common.addresses import PageSize
 from repro.common.pressure import PressureMonitor
@@ -166,6 +166,44 @@ class MMU:
                 l1_tlb_miss=False, l2_tlb_miss=False, page_walk=False)
             self.stats.record(result)
             return result
+        return self._translate_l1_miss(vaddr, asid, pte, latency, is_instruction)
+
+    def translate_data(self, vaddr: int, asid: Optional[int] = None) -> Tuple[int, int]:
+        """Hot-path data translation: returns only ``(paddr, latency)``.
+
+        Behaviourally identical to ``translate(vaddr, is_instruction=False)``
+        — every statistic, TLB LRU update, pressure signal and fill decision
+        is the same (pinned by the parity tests in ``tests/test_hotpath.py``)
+        — but the deterministic L1-D-TLB-hit case is short-circuited: its
+        counters are bumped inline and no :class:`TranslationResult` (whose
+        construction dominates the hit path) is built.  Misses fall through
+        to the shared miss continuation and pay the full modelled cost.
+        """
+        asid = self.asid if asid is None else asid
+        pte = self.memory_manager.ensure_mapped(vaddr)
+        pte.features.accesses.increment()
+
+        entry = self.l1_dtlb_4k.lookup(vaddr, asid)
+        if entry is None:
+            entry = self.l1_dtlb_2m.lookup(vaddr, asid)
+        latency = self.l1_dtlb_4k.latency
+        if entry is not None:
+            # Inline equivalent of MMUStats.record for a ServedBy.L1_TLB hit.
+            stats = self.stats
+            stats.translations += 1
+            stats.total_translation_latency += latency
+            served = stats.served_by
+            served["l1_tlb"] = served.get("l1_tlb", 0) + 1
+            stats.l1_tlb_hits += 1
+            return entry.pte.translate(vaddr), latency
+
+        result = self._translate_l1_miss(vaddr, asid, pte, latency,
+                                         is_instruction=False)
+        return result.paddr, result.latency
+
+    def _translate_l1_miss(self, vaddr: int, asid: int, pte,
+                           latency: int, is_instruction: bool) -> TranslationResult:
+        """Continuation of :meth:`translate` after an L1 TLB miss."""
         pte.features.l1_tlb_misses.increment()
 
         # -- L2 TLB (12 cycles) ------------------------------------------- #

@@ -85,32 +85,38 @@ class PageWalkCaches:
             level: _SplitPWC(entries_per_level, associativity)
             for level in self.CACHED_LEVELS
         }
-
-    @staticmethod
-    def _tag(asid: int, vaddr: int, level: int) -> tuple:
-        indices = radix_indices(vaddr)
-        return (asid,) + indices[: level + 1]
+        # Hot-path precomputation: probe deepest-first, without re-sorting
+        # the level dict on every walk.
+        self._probe_order = tuple(sorted(self._pwcs, reverse=True))
 
     def deepest_hit_level(self, asid: int, vaddr: int, max_level: int) -> Optional[int]:
         """Return the deepest cached non-leaf level that hits, if any.
 
         ``max_level`` bounds the probe to levels strictly above the leaf (for
         2 MB pages the PD is the leaf, so only PML4/PDPT are probed).
+
+        A level-``i`` tag is ``(asid, index_0, …, index_i)`` — the ASID plus
+        the radix indices consumed up to and including level ``i`` — built
+        here (and in :meth:`fill`) by slicing one shared indices tuple so
+        ``radix_indices`` runs once per walk, not once per probed level.
         """
-        for level in sorted(self._pwcs, reverse=True):
+        indices = (asid,) + radix_indices(vaddr)
+        stats = self.stats
+        for level in self._probe_order:
             if level > max_level:
                 continue
-            self.stats.lookups += 1
-            if self._pwcs[level].lookup(self._tag(asid, vaddr, level)):
-                self.stats.hits += 1
+            stats.lookups += 1
+            if self._pwcs[level].lookup(indices[: level + 2]):
+                stats.hits += 1
                 return level
         return None
 
     def fill(self, asid: int, vaddr: int, levels: range) -> None:
         """Insert the walked non-leaf levels after a completed walk."""
+        indices = (asid,) + radix_indices(vaddr)
         for level in levels:
             if level in self._pwcs:
-                self._pwcs[level].insert(self._tag(asid, vaddr, level))
+                self._pwcs[level].insert(indices[: level + 2])
                 self.stats.insertions += 1
 
     def invalidate_all(self) -> None:

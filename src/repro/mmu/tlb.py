@@ -25,15 +25,23 @@ from repro.common.errors import ConfigurationError
 from repro.memory.page_table import PageTableEntry
 
 
-@dataclass
 class TLBEntry:
-    """One cached virtual-to-physical translation."""
+    """One cached virtual-to-physical translation.
 
-    vpn: int
-    asid: int
-    page_size: PageSize
-    pte: PageTableEntry
-    last_touch: int = 0
+    A ``__slots__`` class: one entry is built per TLB fill and its fields are
+    scanned on every set probe, so construction and attribute access are on
+    the simulator's hot path.
+    """
+
+    __slots__ = ("vpn", "asid", "page_size", "pte", "last_touch")
+
+    def __init__(self, vpn: int, asid: int, page_size: PageSize,
+                 pte: PageTableEntry, last_touch: int = 0):
+        self.vpn = vpn
+        self.asid = asid
+        self.page_size = page_size
+        self.pte = pte
+        self.last_touch = last_touch
 
     def translate(self, vaddr: int) -> int:
         return self.pte.translate(vaddr)
@@ -41,6 +49,10 @@ class TLBEntry:
     @property
     def tag(self) -> Tuple[int, int, int]:
         return (self.asid, int(self.page_size), self.vpn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TLBEntry(vpn={self.vpn}, asid={self.asid}, "
+                f"page_size={self.page_size!r}, last_touch={self.last_touch})")
 
 
 @dataclass
@@ -89,6 +101,11 @@ class TLB:
         self._access_counter = 0
         # set index -> list of entries (at most `associativity` long)
         self._sets: List[List[TLBEntry]] = [[] for _ in range(self.num_sets)]
+        # Hot-path precomputation: (page size, offset-bit shift, stat label)
+        # per supported size, so lookups avoid the PageSize.offset_bits
+        # property (which recomputes a bit_length per call).
+        self._probe_plan: Tuple[Tuple[PageSize, int, str], ...] = tuple(
+            (ps, ps.offset_bits, ps.label) for ps in self.page_sizes)
 
     # ------------------------------------------------------------------ #
     # Indexing
@@ -104,26 +121,30 @@ class TLB:
     # ------------------------------------------------------------------ #
     def lookup(self, vaddr: int, asid: int, update_lru: bool = True) -> Optional[TLBEntry]:
         """Probe the TLB for ``vaddr``; probes every supported page size."""
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         self._access_counter += 1
-        for page_size in self.page_sizes:
-            vpn = page_number(vaddr, page_size)
-            entry = self._find(vpn, asid, page_size)
-            if entry is not None:
-                self.stats.hits += 1
-                label = page_size.label
-                self.stats.hits_by_page_size[label] = self.stats.hits_by_page_size.get(label, 0) + 1
-                if update_lru:
-                    entry.last_touch = self._access_counter
-                return entry
-        self.stats.misses += 1
+        set_mask = self.num_sets - 1
+        sets = self._sets
+        for page_size, shift, label in self._probe_plan:
+            vpn = vaddr >> shift
+            for entry in sets[vpn & set_mask]:
+                # Field-by-field compare (vpn first: it discriminates most)
+                # instead of building an (asid, size, vpn) tag tuple per way.
+                if (entry.vpn == vpn and entry.asid == asid
+                        and entry.page_size is page_size):
+                    stats.hits += 1
+                    stats.hits_by_page_size[label] = stats.hits_by_page_size.get(label, 0) + 1
+                    if update_lru:
+                        entry.last_touch = self._access_counter
+                    return entry
+        stats.misses += 1
         return None
 
     def _find(self, vpn: int, asid: int, page_size: PageSize) -> Optional[TLBEntry]:
-        tlb_set = self._sets[self._set_index(vpn)]
-        tag = (asid, int(page_size), vpn)
-        for entry in tlb_set:
-            if entry.tag == tag:
+        for entry in self._sets[vpn & (self.num_sets - 1)]:
+            if (entry.vpn == vpn and entry.asid == asid
+                    and entry.page_size is page_size):
                 return entry
         return None
 
@@ -157,7 +178,14 @@ class TLB:
         tlb_set = self._sets[self._set_index(vpn)]
         evicted: Optional[TLBEntry] = None
         if len(tlb_set) >= self.associativity:
-            victim_index = min(range(len(tlb_set)), key=lambda i: tlb_set[i].last_touch)
+            # Manual LRU scan (no min()+lambda): inserts are hot-path work.
+            victim_index = 0
+            oldest = tlb_set[0].last_touch
+            for index in range(1, len(tlb_set)):
+                touch = tlb_set[index].last_touch
+                if touch < oldest:
+                    oldest = touch
+                    victim_index = index
             evicted = tlb_set.pop(victim_index)
             self.stats.evictions += 1
         tlb_set.append(entry)

@@ -26,6 +26,7 @@ the pre-multi-core tree (pinned by ``tests/test_multicore.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.cache.block import BlockKind
@@ -76,7 +77,8 @@ class MultiCoreSimulator:
                  core_workloads: Sequence[Optional[Workload]],
                  epoch_instructions: int = 10_000,
                  warmup_fraction: float = 0.25,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 fast_path: bool = True):
         if not isinstance(system, MultiCoreSystem):
             raise ConfigurationError(
                 "MultiCoreSimulator needs a MultiCoreSystem (num_cores > 1); "
@@ -95,6 +97,12 @@ class MultiCoreSimulator:
         self.warmup_fraction = warmup_fraction
         self.name = name or "cores(" + "|".join(
             (w.name if w is not None else "idle") for w in core_workloads) + ")"
+        #: When True (the default) cores pull chunked reference batches and
+        #: translate through the L1-hit fast path; when False each core runs
+        #: the straight-line reference flow.  Results are bit-identical
+        #: either way (pinned by ``tests/test_hotpath.py``) — only the
+        #: scheduler decides execution order, and it is unchanged.
+        self.fast_path = fast_path
 
     @classmethod
     def from_scenario(cls, scenario) -> "MultiCoreSimulator":
@@ -153,8 +161,14 @@ class MultiCoreSimulator:
                 continue
             total = workload.config.max_refs
             warmup = int(total * self.warmup_fraction)
+            if self.fast_path:
+                # Same references in the same order as bounded(), delivered
+                # as chunked lists and flattened at C level.
+                stream = chain.from_iterable(workload.bounded_batches())
+            else:
+                stream = iter(workload.bounded())
             runs.append(_CoreRun(core=core, workload=workload,
-                                 stream=iter(workload.bounded()),
+                                 stream=stream,
                                  warmup_refs=warmup, measuring=warmup == 0))
         # Cores that start measuring (warmup 0) count as already warm; the
         # shared-stat reset only fires when a *boundary crossing* completes
@@ -171,6 +185,12 @@ class MultiCoreSimulator:
         total_instructions = 0
         next_epoch = self.epoch_instructions
 
+        # Multi-core machines are native-only (validated by SystemConfig), so
+        # every core MMU has the fast path; the getattr is pure defence.
+        use_fast_translate = self.fast_path and all(
+            getattr(run.core.mmu, "translate_data", None) is not None
+            for run in runs)
+
         pending = list(runs)
         while pending:
             run = min(pending, key=lambda r: (r.ready_at, r.core_id))
@@ -186,6 +206,13 @@ class MultiCoreSimulator:
                 cores_warm += 1
                 if cores_warm == len(runs):
                     self._reset_shared_stats()
+                    # Mirror the single-core warm-up fix: drop the reach
+                    # samples taken before every core was warm and restart
+                    # the aggregate epoch cadence at the boundary.
+                    reach_samples = []
+                    reach_samples_4k = []
+                    total_instructions = 0
+                    next_epoch = self.epoch_instructions
 
             core = run.core
             gap = ref.instruction_gap
@@ -194,11 +221,16 @@ class MultiCoreSimulator:
             system.shared_pressure.record_instructions(gap + 1)
             delta = gap * base_cpi
 
-            translation = core.mmu.translate(ref.vaddr, is_instruction=False)
-            delta += translation.latency
-            run.translation_cycles += translation.latency
+            if use_fast_translate:
+                paddr, translation_latency = core.mmu.translate_data(ref.vaddr)
+            else:
+                translation = core.mmu.translate(ref.vaddr, is_instruction=False)
+                paddr = translation.paddr
+                translation_latency = translation.latency
+            delta += translation_latency
+            run.translation_cycles += translation_latency
 
-            access = core.hierarchy.access(translation.paddr, write=ref.is_write,
+            access = core.hierarchy.access(paddr, write=ref.is_write,
                                            ip=ref.ip)
             delta += access.latency
             run.refs += 1
@@ -242,6 +274,7 @@ class MultiCoreSimulator:
             cache.stats.__init__()
         if core.victima is not None:
             core.victima.stats.__init__()
+        core.pressure.reset_stats()
         run.instructions = 0
         run.cycles = 0.0
         run.translation_cycles = 0.0
@@ -253,6 +286,7 @@ class MultiCoreSimulator:
         for cache in self.system.shared_caches():
             cache.stats.__init__()
         self.system.dram.reset_stats()
+        self.system.shared_pressure.reset_stats()
         if self.system.pom_tlb is not None:
             self.system.pom_tlb.stats.__init__()
 

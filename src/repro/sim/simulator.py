@@ -16,7 +16,7 @@ of execution cycles to address translation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import reuse_buckets
@@ -183,7 +183,8 @@ class Simulator:
     """
 
     def __init__(self, system: System, workload: Workload,
-                 epoch_instructions: int = 10_000, warmup_fraction: float = 0.25):
+                 epoch_instructions: int = 10_000, warmup_fraction: float = 0.25,
+                 fast_path: bool = True):
         if isinstance(system, MultiCoreSystem):
             raise ConfigurationError(
                 "this Simulator is single-core; a MultiCoreSystem "
@@ -194,6 +195,12 @@ class Simulator:
         self.workload = workload
         self.epoch_instructions = epoch_instructions
         self.warmup_fraction = warmup_fraction
+        #: When True (the default) ``run()`` uses the batched-stream loop with
+        #: the L1-TLB-hit translation fast path; when False it runs the
+        #: straight-line reference loop.  Both produce bit-identical
+        #: :class:`SimulationResult`\ s (pinned by ``tests/test_hotpath.py``);
+        #: the reference loop exists exactly so that parity stays testable.
+        self.fast_path = fast_path
 
     @classmethod
     def from_configs(cls, system_config: SystemConfig, workload_config: WorkloadConfig,
@@ -244,7 +251,11 @@ class Simulator:
     def from_simulation_config(cls, config: SimulationConfig,
                                workload_config: WorkloadConfig) -> "Simulator":
         if config.max_refs is not None:
-            workload_config.max_refs = config.max_refs
+            # Never mutate the caller's config: the same WorkloadConfig may be
+            # shared across several runs (e.g. a sweep over SimulationConfigs).
+            workload_config = replace(workload_config,
+                                      max_refs=config.max_refs,
+                                      params=dict(workload_config.params))
         return cls.from_configs(config.system, workload_config,
                                 epoch_instructions=config.epoch_instructions)
 
@@ -283,6 +294,115 @@ class Simulator:
         return mapped
 
     def run(self) -> SimulationResult:
+        """Simulate the workload and return the measured result.
+
+        Dispatches to the batched fast-path loop (:meth:`_run_fast`, the
+        default) or the straight-line reference loop
+        (:meth:`_run_reference`); the two are bit-identical by construction
+        and by test.
+        """
+        if self.fast_path:
+            return self._run_fast()
+        return self._run_reference()
+
+    def _run_fast(self) -> SimulationResult:
+        """Batched hot-path loop: chunked reference lists + ``translate_data``.
+
+        Mirrors :meth:`_run_reference` statement for statement (same float
+        accumulation order, same reset points) with three throughput changes:
+        references arrive as pre-built lists from
+        :meth:`~repro.workloads.base.Workload.bounded_batches`, translation
+        goes through the L1-hit fast path when the MMU provides one, and the
+        per-reference callees are bound to locals outside the loop.
+        """
+        system = self.system
+        mmu = system.mmu
+        hierarchy = system.hierarchy
+        pressure = system.pressure
+        base_cpi = system.config.base_cpi
+        self.prefault()
+
+        total_refs = self.workload.config.max_refs
+        warmup_refs = int(total_refs * self.warmup_fraction)
+
+        instructions = 0
+        cycles = 0.0
+        translation_cycles = 0.0
+        refs = 0
+        data_l2_misses = 0
+        level_counts: Dict[str, int] = {}
+        reach_samples: List[int] = []
+        reach_samples_4k: List[int] = []
+        epoch_instructions = self.epoch_instructions
+        next_epoch = epoch_instructions
+        measuring = warmup_refs == 0
+
+        translate_data = getattr(mmu, "translate_data", None)
+        if translate_data is None:
+            # Virtualized MMUs have no fast path; adapt the generic flow.
+            def translate_data(vaddr, _translate=mmu.translate):
+                result = _translate(vaddr, is_instruction=False)
+                return result.paddr, result.latency
+
+        hierarchy_access = hierarchy.access
+        record_instructions = pressure.record_instructions
+        record_l2_cache_miss = pressure.record_l2_cache_miss
+        victima = system.victima
+        level_l3 = MemoryLevel.L3
+        level_dram = MemoryLevel.DRAM
+
+        for batch in self.workload.bounded_batches():
+            for ref in batch:
+                if not measuring and refs >= warmup_refs:
+                    self._reset_measured_stats()
+                    instructions = 0
+                    cycles = 0.0
+                    translation_cycles = 0.0
+                    data_l2_misses = 0
+                    level_counts = {}
+                    reach_samples = []
+                    reach_samples_4k = []
+                    next_epoch = epoch_instructions
+                    measuring = True
+
+                gap = ref.instruction_gap
+                instructions += gap + 1
+                record_instructions(gap + 1)
+                cycles += gap * base_cpi
+
+                paddr, translation_latency = translate_data(ref.vaddr)
+                cycles += translation_latency
+                translation_cycles += translation_latency
+
+                access = hierarchy_access(paddr, write=ref.is_write, ip=ref.ip)
+                cycles += access.latency
+                refs += 1
+                level = access.level
+                value = level.value
+                level_counts[value] = level_counts.get(value, 0) + 1
+                if level is level_l3 or level is level_dram:
+                    data_l2_misses += 1
+                    record_l2_cache_miss()
+
+                if instructions >= next_epoch:
+                    next_epoch += epoch_instructions
+                    if victima is not None:
+                        reach_samples.append(victima.translation_reach_bytes())
+                        reach_samples_4k.append(
+                            victima.translation_reach_bytes(assume_4k=True))
+
+        # Always take a final sample so short runs still report reach.
+        if victima is not None:
+            reach_samples.append(victima.translation_reach_bytes())
+            reach_samples_4k.append(victima.translation_reach_bytes(assume_4k=True))
+
+        measured_refs = refs - warmup_refs if warmup_refs else refs
+        return self._collect(instructions, cycles, translation_cycles, measured_refs,
+                             data_l2_misses, level_counts, reach_samples,
+                             reach_samples_4k)
+
+    def _run_reference(self) -> SimulationResult:
+        """The straight-line per-reference loop (the pre-fast-path engine)."""
         system = self.system
         mmu = system.mmu
         hierarchy = system.hierarchy
@@ -312,6 +432,9 @@ class Simulator:
                 translation_cycles = 0.0
                 data_l2_misses = 0
                 level_counts = {}
+                # Warm-up epochs must not leak into the measured reach series.
+                reach_samples = []
+                reach_samples_4k = []
                 next_epoch = self.epoch_instructions
                 measuring = True
 
@@ -359,6 +482,7 @@ class Simulator:
         for cache in system.hierarchy.levels():
             cache.stats.__init__()
         system.dram.reset_stats()
+        system.pressure.reset_stats()
         if system.victima is not None:
             system.victima.stats.__init__()
         if system.pom_tlb is not None:

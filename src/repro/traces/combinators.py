@@ -114,6 +114,18 @@ class RemappedWorkload(ComposedWorkload):
                             is_write=ref.is_write,
                             instruction_gap=ref.instruction_gap)
 
+    def bounded_batches(self, batch_size: Optional[int] = None) -> Iterator[List[MemoryRef]]:
+        """Batched remapping: shift whole inner chunks via list comprehension.
+
+        Valid because this combinator's ``max_refs`` equals the inner
+        workload's, so the inner stream's own truncation is exactly ours.
+        """
+        vshift, ipshift = self.vaddr_offset, self.ip_offset
+        for batch in self.inner.bounded_batches(batch_size):
+            yield [MemoryRef(ref.ip + ipshift, ref.vaddr + vshift,
+                             ref.is_write, ref.instruction_gap)
+                   for ref in batch]
+
 
 class MixWorkload(ComposedWorkload):
     """Weighted deterministic interleaving of remapped tenant workloads.
@@ -249,6 +261,58 @@ class MixWorkload(ComposedWorkload):
                 del streams[index]
                 del weights[index]
 
+    def bounded_batches(self, batch_size: Optional[int] = None) -> Iterator[List[MemoryRef]]:
+        """Batched interleave: the same weighted RNG schedule, chunked output.
+
+        The per-reference scheduling draws are unavoidable (each draw decides
+        which tenant advances), but the tenants are consumed through their own
+        batched streams and the output is accumulated into lists, removing
+        the per-reference generator hand-off that ``bounded()`` pays twice
+        (once per tenant pull, once per mix yield).  Draw order, tenant
+        retirement and truncation are identical to ``bounded()``.
+        """
+        if batch_size is None:
+            batch_size = self.BATCH_SIZE
+        max_refs = self.config.max_refs
+        # bounded() emits the first reference before its count check, so a
+        # non-positive budget still yields exactly one reference.
+        target = max_refs if max_refs > 0 else 1
+        streams = [itertools.chain.from_iterable(component.bounded_batches(batch_size))
+                   for component in self.components]
+        weights = list(self.weights)
+        rng = self.rng
+        batch: List[MemoryRef] = []
+        emitted = 0
+        while streams:
+            if len(streams) == 1:
+                for ref in streams[0]:
+                    batch.append(ref)
+                    emitted += 1
+                    if emitted >= target:
+                        yield batch
+                        return
+                    if len(batch) >= batch_size:
+                        yield batch
+                        batch = []
+                break
+            index = rng.choices(range(len(streams)), weights=weights)[0]
+            try:
+                ref = next(streams[index])
+            except StopIteration:
+                del streams[index]
+                del weights[index]
+                continue
+            batch.append(ref)
+            emitted += 1
+            if emitted >= target:
+                yield batch
+                return
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
 
 class PhasedWorkload(ComposedWorkload):
     """Sequential phases: each component runs to exhaustion, then the next.
@@ -261,6 +325,26 @@ class PhasedWorkload(ComposedWorkload):
     def generate(self) -> Iterator[MemoryRef]:
         for component in self.components:
             yield from component.bounded()
+
+    def bounded_batches(self, batch_size: Optional[int] = None) -> Iterator[List[MemoryRef]]:
+        """Batched phases: forward each phase's chunks, truncating at the end.
+
+        A phase boundary may split a chunk, but the concatenation of the
+        yielded chunks is exactly ``list(bounded())``.
+        """
+        if batch_size is None:
+            batch_size = self.BATCH_SIZE
+        max_refs = self.config.max_refs
+        # Match bounded(): the first reference lands before the count check.
+        target = max_refs if max_refs > 0 else 1
+        emitted = 0
+        for component in self.components:
+            for batch in component.bounded_batches(batch_size):
+                if emitted + len(batch) >= target:
+                    yield batch[:target - emitted]
+                    return
+                emitted += len(batch)
+                yield batch
 
 
 class DilatedWorkload(ComposedWorkload):
@@ -295,6 +379,14 @@ class DilatedWorkload(ComposedWorkload):
             gap = max(1, round(ref.instruction_gap * scale))
             yield MemoryRef(ip=ref.ip, vaddr=ref.vaddr, is_write=ref.is_write,
                             instruction_gap=gap)
+
+    def bounded_batches(self, batch_size: Optional[int] = None) -> Iterator[List[MemoryRef]]:
+        """Batched dilation (``max_refs`` equals the inner workload's)."""
+        scale = self.gap_scale
+        for batch in self.inner.bounded_batches(batch_size):
+            yield [MemoryRef(ref.ip, ref.vaddr, ref.is_write,
+                             max(1, round(ref.instruction_gap * scale)))
+                   for ref in batch]
 
 
 class ShardedWorkload(ComposedWorkload):

@@ -7,7 +7,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
 class MemoryRef:
     """One data memory reference emitted by a workload.
 
@@ -15,12 +14,37 @@ class MemoryRef:
     the previous memory reference; the simulator charges them at the base CPI.
     ``ip`` is a synthetic instruction pointer identifying the access site,
     which the IP-stride prefetcher uses for training.
+
+    Implemented as a hand-rolled ``__slots__`` class rather than a dataclass:
+    tens of thousands of these are created per simulated window, and slotted
+    attribute access plus a plain ``__init__`` is measurably faster on the
+    hot path (frozen-dataclass construction goes through
+    ``object.__setattr__``).  Value semantics (equality, hashing, repr) match
+    the previous frozen dataclass, so recorded traces still compare equal.
     """
 
-    ip: int
-    vaddr: int
-    is_write: bool = False
-    instruction_gap: int = 2
+    __slots__ = ("ip", "vaddr", "is_write", "instruction_gap")
+
+    def __init__(self, ip: int, vaddr: int, is_write: bool = False,
+                 instruction_gap: int = 2):
+        self.ip = ip
+        self.vaddr = vaddr
+        self.is_write = is_write
+        self.instruction_gap = instruction_gap
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryRef):
+            return NotImplemented
+        return (self.ip == other.ip and self.vaddr == other.vaddr
+                and self.is_write == other.is_write
+                and self.instruction_gap == other.instruction_gap)
+
+    def __hash__(self) -> int:
+        return hash((self.ip, self.vaddr, self.is_write, self.instruction_gap))
+
+    def __repr__(self) -> str:
+        return (f"MemoryRef(ip={self.ip}, vaddr={self.vaddr}, "
+                f"is_write={self.is_write}, instruction_gap={self.instruction_gap})")
 
 
 @dataclass
@@ -118,6 +142,39 @@ class Workload:
             count += 1
             if count >= self.config.max_refs:
                 return
+
+    #: Chunk size used by :meth:`bounded_batches`; large enough to amortise
+    #: the per-chunk generator resumption, small enough to keep batches cheap.
+    BATCH_SIZE = 1024
+
+    def bounded_batches(self, batch_size: Optional[int] = None) -> Iterator[List[MemoryRef]]:
+        """The :meth:`bounded` stream delivered as chunked lists.
+
+        This is the hot-path form the simulator consumes: pulling a list of
+        ~:attr:`BATCH_SIZE` references per generator resumption replaces one
+        Python-level generator hop per reference with a C-level list append,
+        without changing the references or their order in any way —
+        ``concat(bounded_batches()) == list(bounded())`` exactly (pinned by
+        tests).  Combinators override this to batch their transformations.
+        """
+        if batch_size is None:
+            batch_size = self.BATCH_SIZE
+        max_refs = self.config.max_refs
+        count = 0
+        batch: List[MemoryRef] = []
+        append = batch.append
+        for ref in self.generate():
+            append(ref)
+            count += 1
+            if count >= max_refs:
+                yield batch
+                return
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r}, max_refs={self.config.max_refs})"

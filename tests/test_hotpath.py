@@ -1,0 +1,281 @@
+"""Hot-path engine: batched streams, fast-path parity, warm-up bugfixes."""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.counters import EventRateMonitor
+from repro.common.pressure import PressureMonitor
+from repro.sim.config import SimulationConfig
+from repro.sim.multicore import MultiCoreSimulator
+from repro.sim.presets import make_system_config, make_workload_config
+from repro.sim.simulator import Simulator
+from repro.traces.combinators import dilate, mix, phased, remap, shard
+from repro.workloads import make_workload
+from repro.workloads.base import MemoryRef, WorkloadConfig
+
+TWO_CORE_SCENARIO = {
+    "name": "hotpath-two-core",
+    "system": "victima",
+    "max_refs": 4000,
+    "seed": 11,
+    "hardware_scale": 16,
+    "warmup_fraction": 0.25,
+    "num_cores": 2,
+    "workload": {"kind": "mix", "tenants": [
+        {"workload": "bfs", "core": 0},
+        {"workload": "rnd", "core": 1},
+    ]},
+}
+
+
+# --------------------------------------------------------------------------- #
+# Batched reference streams
+# --------------------------------------------------------------------------- #
+class TestBoundedBatches:
+    """concat(bounded_batches()) must equal list(bounded()) exactly."""
+
+    def _flat(self, workload, batch_size=128):
+        return list(itertools.chain.from_iterable(
+            workload.bounded_batches(batch_size)))
+
+    @pytest.mark.parametrize("name", ["rnd", "bfs", "xs", "dlrm"])
+    def test_plain_workloads(self, name):
+        assert (self._flat(make_workload(name, max_refs=1500))
+                == list(make_workload(name, max_refs=1500).bounded()))
+
+    def test_combinators(self):
+        def build():
+            return {
+                "remap": remap(make_workload("bfs", max_refs=900), 2),
+                "mix": mix([make_workload("bfs", max_refs=700),
+                            make_workload("rnd", max_refs=500)],
+                           weights=[2.0, 1.0], seed=9),
+                "mix_truncated": mix([make_workload("bfs", max_refs=700),
+                                      make_workload("rnd", max_refs=500)],
+                                     seed=9, max_refs=400),
+                "phased": phased([make_workload("pr", max_refs=500),
+                                  make_workload("bfs", max_refs=300)]),
+                "phased_truncated": phased([make_workload("pr", max_refs=500),
+                                            make_workload("bfs", max_refs=300)],
+                                           max_refs=600),
+                "dilate": dilate(make_workload("rnd", max_refs=400), 2.5),
+                "shard": shard(make_workload("rnd", max_refs=1200), 1, 3),
+            }
+        streamed = {name: list(w.bounded()) for name, w in build().items()}
+        batched = {name: self._flat(w) for name, w in build().items()}
+        for name in streamed:
+            assert streamed[name] == batched[name], name
+
+    def test_batch_size_is_respected(self):
+        workload = make_workload("rnd", max_refs=1000)
+        sizes = [len(batch) for batch in workload.bounded_batches(256)]
+        assert sum(sizes) == 1000
+        assert all(size <= 256 for size in sizes)
+
+    def test_memory_ref_value_semantics(self):
+        ref = MemoryRef(ip=1, vaddr=2, is_write=True, instruction_gap=3)
+        same = MemoryRef(ip=1, vaddr=2, is_write=True, instruction_gap=3)
+        other = MemoryRef(ip=1, vaddr=2, is_write=False, instruction_gap=3)
+        assert ref == same and hash(ref) == hash(same)
+        assert ref != other
+        assert "vaddr=2" in repr(ref)
+
+
+# --------------------------------------------------------------------------- #
+# Fast-path parity
+# --------------------------------------------------------------------------- #
+class TestFastPathParity:
+    """The batched/fast-path loop is bit-identical to the reference loop."""
+
+    @pytest.mark.parametrize("preset,workload", [
+        ("victima", "rnd"),
+        ("radix", "bfs"),
+    ])
+    def test_single_core_full_result_equality(self, preset, workload):
+        def run(fast_path):
+            sim = Simulator.from_configs(
+                make_system_config(preset),
+                make_workload_config(workload, max_refs=6000))
+            sim.fast_path = fast_path
+            return sim.run()
+
+        assert run(True) == run(False)
+
+    def test_two_core_full_result_equality(self):
+        def run(fast_path):
+            sim = Simulator.from_scenario(dict(TWO_CORE_SCENARIO))
+            assert isinstance(sim, MultiCoreSimulator)
+            sim.fast_path = fast_path
+            return sim.run()
+
+        assert run(True) == run(False)
+
+    def test_virtualized_system_falls_back(self):
+        # Virtualized MMUs have no translate_data; the fast loop must adapt
+        # and still match the reference loop bit for bit.
+        def run(fast_path):
+            sim = Simulator.from_configs(
+                make_system_config("nested_paging"),
+                make_workload_config("rnd", max_refs=3000))
+            sim.fast_path = fast_path
+            return sim.run()
+
+        assert run(True) == run(False)
+
+
+# --------------------------------------------------------------------------- #
+# Warm-up bugfix regressions
+# --------------------------------------------------------------------------- #
+class TestPressureResetAtWarmupBoundary:
+    def test_event_rate_monitor_reset(self):
+        monitor = EventRateMonitor(window_instructions=100)
+        monitor.record_instructions(250)
+        monitor.record_event(7)
+        monitor.reset()
+        assert monitor.total_events == 0
+        assert monitor.total_instructions == 0
+        assert monitor.rate_per_kilo_instructions == 0.0
+
+    def test_pressure_monitor_reset_stats(self):
+        pressure = PressureMonitor(window_instructions=100)
+        pressure.record_l2_tlb_miss(9)
+        pressure.record_l2_cache_miss(9)
+        pressure.record_instructions(500)
+        assert pressure.translation_pressure_high
+        pressure.reset_stats()
+        assert pressure.total_l2_tlb_misses == 0
+        assert pressure.total_l2_cache_misses == 0
+        assert pressure.total_instructions == 0
+        assert not pressure.translation_pressure_high
+        assert not pressure.data_locality_low
+        # Configuration survives the reset.
+        assert pressure.tlb_pressure_threshold == 5.0
+
+    def test_single_core_pressure_counts_measured_window_only(self):
+        sim = Simulator.from_configs(
+            make_system_config("victima"),
+            make_workload_config("rnd", max_refs=4000))
+        result = sim.run()
+        pressure = sim.system.pressure
+        # With the reset at the warm-up boundary, the monitor's totals must
+        # equal the measured-window statistics exactly; before the fix they
+        # also contained every warm-up instruction and miss.
+        assert pressure.total_instructions == result.instructions
+        assert pressure.total_l2_cache_misses == result.data_l2_misses
+        assert pressure.total_l2_tlb_misses == result.l2_tlb_misses
+
+    def test_multi_core_pressure_counts_measured_window_only(self):
+        sim = Simulator.from_scenario(dict(TWO_CORE_SCENARIO))
+        result = sim.run()
+        for core_result in result.per_core:
+            core = sim.system.cores[core_result.core]
+            assert core.pressure.total_instructions == core_result.instructions
+            assert core.pressure.total_l2_cache_misses == core_result.data_l2_misses
+        # The shared monitor resets when the *last* core crosses its
+        # boundary, so it can only hold fewer instructions than the
+        # per-core (boundary-reset) monitors combined.
+        shared = sim.system.shared_pressure
+        assert shared.total_instructions <= result.instructions
+
+
+class TestReachSamplesClearedAtMeasureStart:
+    def _run(self, warmup_fraction, epoch_instructions=500):
+        sim = Simulator.from_configs(
+            make_system_config("victima"),
+            make_workload_config("rnd", max_refs=4000))
+        sim.warmup_fraction = warmup_fraction
+        sim.epoch_instructions = epoch_instructions
+        return sim.run()
+
+    def test_no_warmup_epoch_samples_leak(self):
+        result = self._run(warmup_fraction=0.5)
+        # Every epoch sample now comes from the measured window: at most
+        # one sample per completed measured epoch, plus the final snapshot.
+        max_measured_samples = result.instructions // 500 + 1
+        assert 1 <= len(result.translation_reach_samples) <= max_measured_samples
+        assert (len(result.translation_reach_samples_4k)
+                == len(result.translation_reach_samples))
+
+    def test_warmup_length_does_not_inflate_series(self):
+        short = self._run(warmup_fraction=0.1)
+        long = self._run(warmup_fraction=0.6)
+        # Before the fix the longer warm-up leaked *more* stale samples into
+        # the result; now a longer warm-up means a shorter measured window
+        # and therefore no more samples than the shorter warm-up produces.
+        assert (len(long.translation_reach_samples)
+                <= len(short.translation_reach_samples))
+
+
+class TestFromSimulationConfigDoesNotMutateCaller:
+    def test_caller_config_unchanged(self):
+        workload_config = WorkloadConfig(name="rnd", max_refs=50_000,
+                                         params={"table_bytes": 1 << 20})
+        sim_config = SimulationConfig(system=make_system_config("radix"),
+                                      max_refs=1234)
+        sim = Simulator.from_simulation_config(sim_config, workload_config)
+        assert workload_config.max_refs == 50_000
+        assert sim.workload.config.max_refs == 1234
+        # The params dict is copied too, not shared.
+        sim.workload.config.params["table_bytes"] = 999
+        assert workload_config.params["table_bytes"] == 1 << 20
+
+    def test_none_max_refs_uses_caller_config_directly(self):
+        workload_config = WorkloadConfig(name="rnd", max_refs=2222)
+        sim_config = SimulationConfig(system=make_system_config("radix"))
+        sim = Simulator.from_simulation_config(sim_config, workload_config)
+        assert sim.workload.config.max_refs == 2222
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark harness smoke
+# --------------------------------------------------------------------------- #
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestBenchHarness:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "tools", "bench.py"),
+             "--refs", "300", "--repeats", "1", *args],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+
+    def test_matrix_check_and_regression_gate(self, tmp_path):
+        out = tmp_path / "bench.json"
+        first = self._run("--output", str(out))
+        assert first.returncode == 0, first.stdout + first.stderr
+        payload = json.loads(out.read_text())
+        assert len(payload["cells"]) == 9
+        assert all(cell["calibration_ops_per_sec"] > 0
+                   for cell in payload["cells"])
+        default = [c for c in payload["cells"]
+                   if (c["system"], c["workload"]) == ("radix", "gups")]
+        assert "speedup_vs_reference" in default[0]
+
+        # Same machine, same mode: the self-check must pass...
+        ok = self._run("--no-write", "--check-against", str(out))
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+
+        # ...and an impossible baseline (10x the measured rate) must fail.
+        for cell in payload["cells"]:
+            cell["refs_per_sec"] = cell["refs_per_sec"] * 10
+        inflated = tmp_path / "inflated.json"
+        inflated.write_text(json.dumps(payload))
+        bad = self._run("--no-write", "--check-against", str(inflated))
+        assert bad.returncode == 1
+        assert "REGRESSION" in bad.stdout
+
+    def test_writes_merge_by_default(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert self._run("--output", str(out)).returncode == 0
+        assert self._run("--refs", "200", "--output", str(out)).returncode == 0
+        cells = json.loads(out.read_text())["cells"]
+        # Both modes' cells coexist: nothing was clobbered.
+        assert {cell["refs"] for cell in cells} == {200, 300}
+        assert len(cells) == 18

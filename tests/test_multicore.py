@@ -252,8 +252,10 @@ class TestValidation:
 
 
 class TestCacheIdentity:
-    def test_cache_format_is_v4(self):
-        assert runner._CACHE_FORMAT_VERSION == 4
+    def test_cache_format_is_v5(self):
+        # v5: PR 5's warm-up stats bugfixes changed measured results, so
+        # pre-fix cache entries must be unreachable.
+        assert runner._CACHE_FORMAT_VERSION == 5
 
     def test_num_cores_changes_content_hash(self):
         base = load_scenario(PINNED_SCENARIO)
@@ -277,7 +279,7 @@ class TestCacheIdentity:
                       "hardware_scale": 16, "warmup_fraction": 0.0})
         files = list(tmp_path.glob("run_*.pkl"))
         assert len(files) == 1
-        assert files[0].name.startswith("run_v4_")
+        assert files[0].name.startswith("run_v5_")
 
     def test_stale_generation_entries_warn_once(self, tmp_path, monkeypatch, caplog):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Simulation-throughput benchmark: refs/sec over presets × workloads.
+
+Measures how many memory references per wall-clock second the simulator
+retires — the metric the hot-path engine optimises — on a small matrix of
+system presets × workloads, and writes the numbers to ``BENCH_hotpath.json``
+at the repository root so the perf trajectory is tracked in-tree.
+
+Methodology
+-----------
+Each cell builds a fresh simulator (system construction excluded from the
+timing) and times ``Simulator.run()`` end to end — prefault, warm-up and the
+measured window all count, because that is the wall-clock cost an experiment
+pays per run.  ``refs_per_sec`` is the workload's total reference budget
+divided by that wall time; with ``--repeats N`` the best of N runs is kept
+(the minimum-noise estimate of the achievable rate).  The *default preset*
+cell (GUPS on the radix baseline) is additionally run with the straight-line
+reference loop (``fast_path=False``) and reports the fast-path speedup.
+
+Usage
+-----
+    python tools/bench.py                 # full matrix, writes BENCH_hotpath.json
+    python tools/bench.py --quick         # smaller windows (CI smoke)
+    python tools/bench.py --quick --check-against BENCH_hotpath.json \
+        --tolerance 0.30                  # fail on >30% refs/sec regression
+
+Cells are keyed by ``(system, workload, refs)``: a ``--quick`` run compares
+against (and updates) quick cells only, so quick and full numbers coexist in
+one baseline file and are never compared across modes (writes merge by
+default; ``--replace`` starts the file fresh).  The file also records a
+machine-speed calibration score; regression checks rescale the baseline by
+the calibration ratio first, so a committed baseline gates correctly on
+faster or slower hardware (e.g. CI runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.sim.presets import make_system_config, make_workload_config  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+
+SCHEMA = "repro-bench-hotpath/1"
+
+#: Iterations of the calibration kernel (see :func:`calibration_score`).
+CALIBRATION_OPS = 200_000
+
+#: System presets benchmarked (the paper's baseline plus the two back-ends
+#: with the heaviest per-miss machinery).
+SYSTEMS = ("radix", "victima", "pom_tlb")
+
+#: Benchmark-matrix workloads: friendly name -> registry name.  ``gups`` is
+#: the RND/GUPS random-access workload — the most translation-hostile stream
+#: and therefore the default preset the acceptance target is pinned to.
+WORKLOADS = (("gups", "rnd"), ("bfs", "bfs"), ("xsbench", "xs"))
+
+#: The default preset: GUPS on the radix baseline.
+DEFAULT_PRESET = ("radix", "gups")
+
+FULL_REFS = 40_000
+QUICK_REFS = 8_000
+
+
+def calibration_score(repeats: int = 3) -> float:
+    """Machine-speed proxy: ops/sec of a fixed pure-Python dict/arith kernel.
+
+    Stored next to the measured cells so that a regression check can compare
+    *calibration-normalised* refs/sec: a CI runner that is uniformly 2×
+    slower than the machine that produced the baseline scores ~2× lower here
+    too, and the normalisation cancels the hardware difference while leaving
+    genuine simulator regressions visible.  The kernel deliberately exercises
+    the same primitive mix the simulator hot path does (dict probes, integer
+    arithmetic, attribute-free loops) and touches none of the repro code.
+    """
+    def one_pass() -> float:
+        table: dict = {}
+        acc = 0
+        start = time.perf_counter()
+        for i in range(CALIBRATION_OPS):
+            table[i & 1023] = i
+            acc += table.get((i * 7) & 1023, 0)
+        return time.perf_counter() - start
+
+    return CALIBRATION_OPS / min(one_pass() for _ in range(repeats))
+
+
+def _time_run(system: str, workload: str, refs: int, fast_path: bool) -> float:
+    """Build a fresh simulator and return the wall seconds of one run()."""
+    sim = Simulator.from_configs(make_system_config(system),
+                                 make_workload_config(workload, max_refs=refs))
+    sim.fast_path = fast_path
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def _best_rate(system: str, workload: str, refs: int, repeats: int,
+               fast_path: bool = True) -> Tuple[float, float]:
+    """Return (seconds, refs_per_sec) for the best of ``repeats`` runs."""
+    best = min(_time_run(system, workload, refs, fast_path)
+               for _ in range(repeats))
+    return best, refs / best
+
+
+def run_matrix(refs: int, repeats: int,
+               calibration: float) -> List[Dict[str, object]]:
+    """Measure every cell of the benchmark matrix.
+
+    Each cell records the calibration score of the run that measured it:
+    merged files can mix cells from different machines (e.g. a full-mode
+    rerun on new hardware next to older quick cells), and the regression
+    check must rescale every cell by *its own* calibration basis.
+    """
+    cells: List[Dict[str, object]] = []
+    for system in SYSTEMS:
+        for name, registry_name in WORKLOADS:
+            seconds, rate = _best_rate(system, registry_name, refs, repeats)
+            cell: Dict[str, object] = {
+                "system": system,
+                "workload": name,
+                "refs": refs,
+                "repeats": repeats,
+                "seconds": round(seconds, 4),
+                "refs_per_sec": round(rate, 1),
+                "calibration_ops_per_sec": round(calibration, 1),
+            }
+            if (system, name) == DEFAULT_PRESET:
+                ref_seconds, ref_rate = _best_rate(system, registry_name, refs,
+                                                   repeats, fast_path=False)
+                cell["reference_seconds"] = round(ref_seconds, 4)
+                cell["reference_refs_per_sec"] = round(ref_rate, 1)
+                cell["speedup_vs_reference"] = round(rate / ref_rate, 3)
+            cells.append(cell)
+            print(f"  {system:>8} × {name:<8} {refs:>6} refs: "
+                  f"{rate:>10.0f} refs/sec"
+                  + (f"  ({cell['speedup_vs_reference']}x vs reference loop)"
+                     if "speedup_vs_reference" in cell else ""))
+    return cells
+
+
+def _cell_key(cell: Dict[str, object]) -> Tuple[object, object, object]:
+    return (cell["system"], cell["workload"], cell["refs"])
+
+
+def check_regression(cells: List[Dict[str, object]], baseline_path: str,
+                     tolerance: float, calibration: float) -> int:
+    """Compare measured cells against a committed baseline file.
+
+    Returns the number of regressing cells.  Cells are only compared when the
+    baseline holds the same ``(system, workload, refs)`` key, so quick runs
+    never gate against full-mode numbers; it is an error if nothing matches.
+
+    Each baseline cell carrying a :func:`calibration_score` is rescaled by
+    ``measured_calibration / cell_calibration`` before the tolerance is
+    applied, so the check gates on *this machine's* expected throughput
+    rather than on the (possibly much faster or slower) machine that
+    measured the cell — and merged baselines whose cells come from
+    different machines each rescale by their own basis.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_cells = {_cell_key(c): c for c in baseline.get("cells", [])}
+    print(f"  calibration here: {calibration:,.0f} ops/sec")
+    compared = 0
+    regressions = 0
+    for cell in cells:
+        base = baseline_cells.get(_cell_key(cell))
+        if base is None:
+            continue
+        compared += 1
+        base_calibration = base.get("calibration_ops_per_sec")
+        scale = calibration / float(base_calibration) if base_calibration else 1.0
+        expected = float(base["refs_per_sec"]) * scale
+        floor = expected * (1.0 - tolerance)
+        status = "ok"
+        if float(cell["refs_per_sec"]) < floor:
+            regressions += 1
+            status = f"REGRESSION (floor {floor:.0f})"
+        print(f"  check {cell['system']:>8} × {cell['workload']:<8}: "
+              f"{cell['refs_per_sec']:>10} vs expected {expected:>10.1f}"
+              f"  [{status}]")
+    if compared == 0:
+        raise SystemExit(
+            f"no baseline cells in {baseline_path} match this run's "
+            f"(system, workload, refs) keys — regenerate the baseline with "
+            f"the same mode (--quick or full)")
+    return regressions
+
+
+def write_output(cells: List[Dict[str, object]], path: str, merge: bool) -> None:
+    existing: List[Dict[str, object]] = []
+    if merge and os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle).get("cells", [])
+    merged: Dict[Tuple[object, object, object], Dict[str, object]] = {
+        _cell_key(c): c for c in existing}
+    for cell in cells:
+        merged[_cell_key(cell)] = cell
+    payload = {
+        "schema": SCHEMA,
+        "generated_by": "tools/bench.py",
+        "python": platform.python_version(),
+        "cells": [merged[key] for key in sorted(merged, key=repr)],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path} ({len(merged)} cells)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small windows ({QUICK_REFS} refs, 1 repeat) for CI smoke")
+    parser.add_argument("--refs", type=int, default=None,
+                        help=f"references per cell (default {FULL_REFS}, "
+                             f"quick {QUICK_REFS})")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N timing (default 2, quick 1)")
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
+                        help="output JSON path (default BENCH_hotpath.json at the repo root)")
+    parser.add_argument("--replace", action="store_true",
+                        help="replace the output file wholesale; by default cells are "
+                             "merged into it so a --quick run never deletes the "
+                             "committed full-mode baseline cells")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure (and check) only; leave the output file untouched")
+    parser.add_argument("--check-against", metavar="PATH", default=None,
+                        help="compare against a committed baseline and fail on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional refs/sec drop before failing (default 0.30)")
+    args = parser.parse_args(argv)
+
+    refs = args.refs if args.refs is not None else (QUICK_REFS if args.quick else FULL_REFS)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
+
+    print(f"hot-path throughput benchmark: {len(SYSTEMS)} presets × "
+          f"{len(WORKLOADS)} workloads, {refs} refs, best of {repeats}")
+    calibration = calibration_score()
+    cells = run_matrix(refs, repeats, calibration)
+
+    regressions = 0
+    if args.check_against:
+        regressions = check_regression(cells, args.check_against,
+                                       args.tolerance, calibration)
+
+    if not args.no_write:
+        write_output(cells, args.output, merge=not args.replace)
+
+    if regressions:
+        print(f"FAILED: {regressions} cell(s) regressed by more than "
+              f"{args.tolerance:.0%} vs {args.check_against}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
