@@ -1,0 +1,70 @@
+"""Pluggable translation backends.
+
+Importing this package registers every built-in backend with the registry
+(:mod:`repro.backends.registry`); the system factory, preset layer and CLI
+resolve backends through it.  ``docs/backends.md`` is the tutorial for
+writing and registering a new one.
+"""
+
+from repro.backends.base import MissResolution, TranslationBackend
+from repro.backends.registry import (
+    BackendSpec,
+    available_backends,
+    backend_for_kind,
+    find_backend,
+    get_backend,
+    register_backend,
+)
+
+# Importing the implementation modules is what registers the built-ins.
+from repro.backends import native as _native  # noqa: F401  (registration)
+from repro.backends import virt as _virt  # noqa: F401  (registration)
+from repro.backends import hash_pt as _hash_pt  # noqa: F401  (registration)
+
+from repro.backends.hash_pt import (
+    HashedPageTable,
+    HashedPageTableBackend,
+    HashedPageTablePort,
+)
+from repro.backends.native import (
+    L3TLBBackend,
+    NativeBuildContext,
+    POMTLBBackend,
+    RadixBackend,
+    VictimaBackend,
+    default_native_backend,
+)
+from repro.backends.virt import (
+    NestedPagingBackend,
+    ShadowPagingBackend,
+    VirtBuildContext,
+    VirtPOMTLBBackend,
+    VirtVictimaBackend,
+    default_virt_backend,
+)
+
+__all__ = [
+    "BackendSpec",
+    "MissResolution",
+    "TranslationBackend",
+    "available_backends",
+    "backend_for_kind",
+    "find_backend",
+    "get_backend",
+    "register_backend",
+    "RadixBackend",
+    "L3TLBBackend",
+    "POMTLBBackend",
+    "VictimaBackend",
+    "NativeBuildContext",
+    "default_native_backend",
+    "NestedPagingBackend",
+    "ShadowPagingBackend",
+    "VirtPOMTLBBackend",
+    "VirtVictimaBackend",
+    "VirtBuildContext",
+    "default_virt_backend",
+    "HashedPageTable",
+    "HashedPageTablePort",
+    "HashedPageTableBackend",
+]

@@ -1,0 +1,124 @@
+"""The translation-backend registry.
+
+Every evaluated translation mechanism registers a :class:`BackendSpec` here;
+the system factory (:mod:`repro.sim.system`) looks the spec up by the
+configured :class:`~repro.sim.config.SystemKind` and calls its build hook,
+and the preset layer (:mod:`repro.sim.presets`) falls back to the registry
+for system names it does not hard-code — so a new backend registered by a
+single module is immediately reachable from scenarios, the CLI and the
+experiment runner without touching any of them.
+
+>>> spec = get_backend("radix")
+>>> spec.name, spec.virtualized
+('radix', False)
+>>> [s.name for s in available_backends()][:3]
+['hash_pt', 'ideal_shadow_paging', 'l3_tlb']
+>>> get_backend("no_such_backend")
+Traceback (most recent call last):
+    ...
+repro.common.errors.ConfigurationError: unknown translation backend 'no_such_backend'; registered backends: hash_pt, ideal_shadow_paging, l3_tlb, large_l2_tlb, nested_paging, pom_tlb, radix, victima, virt_pom_tlb, virt_victima
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.sim.config import SystemConfig, SystemKind
+
+__all__ = [
+    "BackendSpec",
+    "register_backend",
+    "get_backend",
+    "find_backend",
+    "backend_for_kind",
+    "available_backends",
+]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Everything the rest of the stack needs to know about one backend.
+
+    ``build(context)`` assembles the backend for a single-core machine (or
+    one core of a multi-core machine); ``build_shared(context)`` — optional —
+    builds the structure that multi-core machines instantiate *once* and
+    share across cores (e.g. the in-memory POM-TLB), which ``build`` then
+    receives via ``context.shared``.  ``configure(config)`` — optional —
+    applies the backend's preset defaults when
+    :func:`repro.sim.presets.make_system_config` resolves the backend by
+    name (replacement policies, extra TLB levels, ...).
+    """
+
+    #: Registry key; also the preset/scenario name that selects the backend.
+    name: str
+    #: The :class:`SystemKind` the system factory dispatches on.
+    kind: SystemKind
+    #: Human-readable system label (results carry it).
+    label: str
+    #: One-line summary shown by ``repro backends list``.
+    summary: str
+    #: Build the backend for one (core's) machine slice.
+    build: Callable[["object"], "object"]
+    #: Build the once-per-machine shared structure (multi-core), if any.
+    build_shared: Optional[Callable[["object"], "object"]] = None
+    #: Apply preset defaults to a :class:`SystemConfig` (name resolution).
+    configure: Optional[Callable[[SystemConfig], None]] = None
+    #: Whether the backend runs under the virtualized MMU.
+    virtualized: bool = False
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+_BY_KIND: Dict[SystemKind, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> BackendSpec:
+    """Register ``spec`` under its name (and kind); returns it unchanged.
+
+    Re-registering a name is an error — backends are process-global and a
+    silent overwrite would make results depend on import order.
+    """
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"translation backend {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    # First spec for a kind wins the kind-dispatch slot; later ones remain
+    # name-addressable (e.g. alias specs sharing a SystemKind).
+    _BY_KIND.setdefault(spec.kind, spec)
+    return spec
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look a backend up by registry name.
+
+    Unknown names raise a :class:`~repro.common.errors.ConfigurationError`
+    that lists every registered backend — the debugging-friendly behaviour
+    the scenario layer and CLI inherit.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown translation backend {name!r}; registered backends: "
+            + ", ".join(sorted(_REGISTRY))) from None
+
+
+def find_backend(name: str) -> Optional[BackendSpec]:
+    """Like :func:`get_backend` but returns ``None`` for unknown names."""
+    return _REGISTRY.get(name)
+
+
+def backend_for_kind(kind: SystemKind) -> BackendSpec:
+    """The spec the system factory dispatches to for ``kind``."""
+    try:
+        return _BY_KIND[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"no translation backend registered for system kind "
+            f"{kind.value!r}") from None
+
+
+def available_backends() -> List[BackendSpec]:
+    """All registered specs, sorted by name (the ``repro backends list`` order)."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

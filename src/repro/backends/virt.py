@@ -1,0 +1,235 @@
+"""Virtualized-execution translation backends (NP, I-SP, POM-TLB, Victima).
+
+Counterparts of :mod:`repro.backends.native` for the virtualized MMU
+(Figures 3 and 19 of the paper).  Each ``translate`` body is the matching
+branch of the historical ``VirtualizedMMU._resolve_miss`` — moved verbatim,
+with the walk-composition statistics (guest/host/shadow walk counts) reported
+through :class:`~repro.backends.base.MissResolution` instead of being bumped
+inline; the virtualized MMU applies them centrally.
+
+Virtualized backends are built in two phases: the spec's ``build`` hook runs
+at the exact point of the factory where the Victima controller / POM-TLB used
+to be constructed (physical-memory reservation order matters for bit-identical
+results), and :meth:`VirtTranslationBackend.bind` attaches the nested walker
+afterwards — the nested walker itself needs the Victima controller at
+construction, so it cannot exist before the backend does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.backends.base import MissResolution, TranslationBackend
+from repro.backends.registry import BackendSpec, register_backend
+from repro.baselines.pom_tlb import POMTLB
+from repro.core.ptw_cp import BoundingBox, ComparatorPTWCostPredictor
+from repro.core.victima import VictimaController
+from repro.mmu.mmu import ServedBy
+from repro.sim.config import SystemKind
+from repro.virt.virt_mmu import VirtMode
+
+
+@dataclass
+class VirtBuildContext:
+    """What the system factory hands a virtualized backend's build hook."""
+
+    config: object           # SystemConfig
+    physical: object         # PhysicalMemory (host)
+    hierarchy: object        # CacheHierarchy
+    pressure: object         # PressureMonitor
+    shadow_builder: object   # ShadowPageTableBuilder
+    shadow_walker: object    # PageTableWalker over the shadow table
+    host_vmm: object         # VirtualMemoryManager (host backing)
+
+
+class VirtTranslationBackend(TranslationBackend):
+    """Base for backends that resolve misses through the nested walker."""
+
+    virtualized = True
+    #: How the virtualized MMU labels this resolution style.
+    mode = VirtMode.NESTED_PAGING
+
+    def __init__(self):
+        self.nested_walker = None
+
+    def bind(self, nested_walker) -> "VirtTranslationBackend":
+        """Attach the nested walker (built *after* the backend — it needs the
+        backend's Victima controller at construction)."""
+        self.nested_walker = nested_walker
+        return self
+
+
+class NestedPagingBackend(VirtTranslationBackend):
+    """Nested paging: every L2 TLB miss takes the two-dimensional walk."""
+
+    def translate(self, gva: int, asid: int) -> MissResolution:
+        breakdown: Dict[str, int] = {}
+        nested = self.nested_walker.walk(gva)
+        breakdown["guest"] = nested.guest_latency
+        breakdown["host"] = nested.host_latency
+        return MissResolution(ServedBy.PAGE_WALK, nested.combined_pte,
+                              nested.latency, breakdown, True,
+                              guest_walks=1, host_walks=nested.host_walks)
+
+
+class ShadowPagingBackend(VirtTranslationBackend):
+    """Ideal shadow paging: a free-to-maintain one-dimensional shadow walk."""
+
+    mode = VirtMode.SHADOW_PAGING
+
+    def __init__(self, shadow_walker):
+        super().__init__()
+        self.shadow_walker = shadow_walker
+
+    @property
+    def shadow_table(self):
+        return self.nested_walker.shadow_builder.table
+
+    def translate(self, gva: int, asid: int) -> MissResolution:
+        breakdown: Dict[str, int] = {}
+        # Ideal shadow paging: keep the shadow table in sync for free,
+        # then a one-dimensional walk resolves the translation.
+        self.nested_walker.install_shadow_mapping(gva)
+        walk = self.shadow_walker.walk(self.shadow_table, gva)
+        breakdown["guest"] = walk.latency
+        return MissResolution(ServedBy.PAGE_WALK, walk.pte, walk.latency,
+                              breakdown, True, guest_walks=1, shadow_walks=1)
+
+
+class VirtVictimaBackend(VirtTranslationBackend):
+    """Victima under virtualization: combined-translation TLB blocks in L2."""
+
+    def __init__(self, victima: VictimaController):
+        super().__init__()
+        self.victima = victima
+
+    def translate(self, gva: int, asid: int) -> MissResolution:
+        breakdown: Dict[str, int] = {}
+        block_pte, probe_latency = self.victima.probe(gva, asid)
+        if block_pte is not None:
+            breakdown["l2_cache"] = probe_latency
+            return MissResolution(ServedBy.VICTIMA_BLOCK, block_pte,
+                                  probe_latency, breakdown, False)
+        nested = self.nested_walker.walk(gva)
+        breakdown["guest"] = nested.guest_latency
+        breakdown["host"] = nested.host_latency
+        self.victima.on_l2_tlb_miss(nested.combined_pte)
+        return MissResolution(ServedBy.PAGE_WALK, nested.combined_pte,
+                              nested.latency, breakdown, True,
+                              guest_walks=1, host_walks=nested.host_walks)
+
+    def on_l2_tlb_eviction(self, evicted) -> None:
+        self.victima.on_l2_tlb_eviction(evicted)
+
+    def invalidate_page(self, vaddr: int, asid: int) -> int:
+        return self.victima.invalidate_page(vaddr, asid)
+
+    def invalidate_asid(self, asid: int) -> int:
+        return self.victima.invalidate_asid(asid)
+
+    def invalidate_all(self) -> int:
+        return self.victima.invalidate_all()
+
+
+class VirtPOMTLBBackend(VirtTranslationBackend):
+    """Nested paging plus an in-memory POM-TLB of combined translations."""
+
+    def __init__(self, pom_tlb):
+        super().__init__()
+        self.pom_tlb = pom_tlb
+
+    def translate(self, gva: int, asid: int) -> MissResolution:
+        breakdown: Dict[str, int] = {}
+        pom_pte, pom_latency = self.pom_tlb.lookup(gva, asid)
+        breakdown["stlb"] = pom_latency
+        if pom_pte is not None:
+            return MissResolution(ServedBy.POM_TLB, pom_pte, pom_latency,
+                                  breakdown, False)
+        nested = self.nested_walker.walk(gva)
+        breakdown["guest"] = nested.guest_latency
+        breakdown["host"] = nested.host_latency
+        self.pom_tlb.insert(nested.combined_pte, asid)
+        return MissResolution(ServedBy.PAGE_WALK, nested.combined_pte,
+                              pom_latency + nested.latency, breakdown, True,
+                              guest_walks=1, host_walks=nested.host_walks)
+
+    def install(self, pte, asid: int) -> None:
+        self.pom_tlb.insert(pte, asid)
+
+
+def default_virt_backend(nested_walker, shadow_walker,
+                         mode: VirtMode = VirtMode.NESTED_PAGING,
+                         pom_tlb=None, victima=None) -> VirtTranslationBackend:
+    """Synthesise the backend the legacy ``VirtualizedMMU(...)`` arguments
+    imply — shadow paging, then Victima, then POM-TLB, then plain nested
+    paging, exactly the historical ``_resolve_miss`` branch order."""
+    if mode is VirtMode.SHADOW_PAGING:
+        backend: VirtTranslationBackend = ShadowPagingBackend(shadow_walker)
+    elif victima is not None:
+        backend = VirtVictimaBackend(victima)
+    elif pom_tlb is not None:
+        backend = VirtPOMTLBBackend(pom_tlb)
+    else:
+        backend = NestedPagingBackend()
+    return backend.bind(nested_walker)
+
+
+# --------------------------------------------------------------------------- #
+# Build hooks (one per evaluated virtualized system)
+# --------------------------------------------------------------------------- #
+def _build_nested(ctx: VirtBuildContext) -> NestedPagingBackend:
+    return NestedPagingBackend()
+
+
+def _build_shadow(ctx: VirtBuildContext) -> ShadowPagingBackend:
+    return ShadowPagingBackend(ctx.shadow_walker)
+
+
+def _build_virt_victima(ctx: VirtBuildContext) -> VirtVictimaBackend:
+    victima_config = ctx.config.victima
+    predictor = ComparatorPTWCostPredictor(BoundingBox(
+        min_frequency=victima_config.predictor_min_frequency,
+        min_cost=victima_config.predictor_min_cost))
+    victima = VictimaController(
+        l2_cache=ctx.hierarchy.l2,
+        page_table=ctx.shadow_builder.table,
+        walker=ctx.shadow_walker,
+        predictor=predictor,
+        pressure=ctx.pressure,
+        host_page_table=ctx.host_vmm.page_table,
+        insert_on_miss=victima_config.insert_on_miss,
+        insert_on_eviction=victima_config.insert_on_eviction,
+        use_predictor=victima_config.use_predictor,
+        bypass_on_low_locality=victima_config.bypass_on_low_locality,
+    )
+    return VirtVictimaBackend(victima)
+
+
+def _build_virt_pom(ctx: VirtBuildContext) -> VirtPOMTLBBackend:
+    pom = POMTLB(ctx.physical, ctx.hierarchy, entries=ctx.config.pom_tlb.entries,
+                 associativity=ctx.config.pom_tlb.associativity,
+                 entry_size_bytes=ctx.config.pom_tlb.entry_size_bytes)
+    return VirtPOMTLBBackend(pom)
+
+
+register_backend(BackendSpec(
+    name="nested_paging", kind=SystemKind.NESTED_PAGING, label="Nested Paging",
+    summary="Two-dimensional guest+host walk on every L2 TLB miss.",
+    build=_build_nested, virtualized=True))
+
+register_backend(BackendSpec(
+    name="ideal_shadow_paging", kind=SystemKind.IDEAL_SHADOW_PAGING,
+    label="Ideal Shadow Paging",
+    summary="One-dimensional shadow-table walk with free shadow maintenance.",
+    build=_build_shadow, virtualized=True))
+
+register_backend(BackendSpec(
+    name="virt_pom_tlb", kind=SystemKind.VIRT_POM_TLB, label="NP + POM-TLB",
+    summary="In-memory POM-TLB of combined translations over nested paging.",
+    build=_build_virt_pom, virtualized=True))
+
+register_backend(BackendSpec(
+    name="virt_victima", kind=SystemKind.VIRT_VICTIMA, label="NP + Victima",
+    summary="Combined-translation TLB blocks in the L2 cache over nested paging.",
+    build=_build_virt_victima, virtualized=True))

@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.addresses import PageSize, is_power_of_two, page_number
 from repro.common.errors import ConfigurationError
+from repro.common.stats import ResettableStats
 from repro.memory.page_table import PageTableEntry
 from repro.memory.physical import PhysicalMemory
 
@@ -39,7 +40,7 @@ class POMTLBStats:
         return self.total_lookup_latency / self.lookups if self.lookups else 0.0
 
 
-class POMTLB:
+class POMTLB(ResettableStats):
     """A 64K-entry (by default) software-managed L3 TLB resident in memory."""
 
     def __init__(
@@ -69,6 +70,7 @@ class POMTLB:
             dict() for _ in range(self.num_sets)
         ]
         self._clock = 0
+        self._register_stats()
 
     # ------------------------------------------------------------------ #
     # Addressing

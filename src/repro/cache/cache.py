@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.common.addresses import is_power_of_two
 from repro.common.errors import ConfigurationError
+from repro.common.stats import ResettableStats
 from repro.cache.block import BlockKind, CacheBlock, CacheKey
 from repro.cache.replacement import LRUPolicy, ReplacementPolicy
 
@@ -86,7 +87,7 @@ class CacheSet:
         return [b for b in self.ways if b is not None]
 
 
-class Cache:
+class Cache(ResettableStats):
     """A single level of set-associative cache."""
 
     def __init__(
@@ -116,6 +117,7 @@ class Cache:
         self.on_eviction = on_eviction
         self.stats = CacheStats()
         self._sets: List[CacheSet] = [CacheSet(associativity) for _ in range(self.num_sets)]
+        self._register_stats()
 
     # ------------------------------------------------------------------ #
     # Indexing

@@ -8,6 +8,7 @@ This is the entry point both humans and CI use to reproduce the paper::
     repro run --refs 2000 --workloads rnd,bfs --no-report
     repro scenarios list               # built-in declarative scenarios
     repro run --scenario examples/scenarios/two_tenant_mix.toml
+    repro backends list                # registered translation backends
 
 ``repro run`` executes the selected experiments through the parallel
 execution engine (:mod:`repro.experiments.engine`): ``--jobs N`` fans the
@@ -167,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_list = scenarios_sub.add_parser(
         "list", help="list built-in scenarios and example scenario files")
     scenarios_list.set_defaults(handler=_cmd_scenarios_list)
+
+    backends_parser = sub.add_parser(
+        "backends", help="inspect the translation-backend registry")
+    backends_sub = backends_parser.add_subparsers(dest="backends_command",
+                                                  required=True)
+    backends_list = backends_sub.add_parser(
+        "list", help="list every registered translation backend")
+    backends_list.set_defaults(handler=_cmd_backends_list)
     return parser
 
 
@@ -228,6 +237,21 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
             for filename in files:
                 print(f"  {os.path.join(example_dir, filename)}")
         break
+    return 0
+
+
+def _cmd_backends_list(args: argparse.Namespace) -> int:
+    from repro.backends import available_backends
+
+    specs = available_backends()
+    name_width = max(len(spec.name) for spec in specs)
+    label_width = max(len(spec.label) for spec in specs)
+    print("registered translation backends "
+          "(use as a system name in scenarios and presets):")
+    for spec in specs:
+        mode = "virtualized" if spec.virtualized else "native"
+        print(f"  {spec.name.ljust(name_width)}  "
+              f"{spec.label.ljust(label_width)}  [{mode}]  {spec.summary}")
     return 0
 
 

@@ -18,6 +18,7 @@ ticks with retired instructions and the MMU / L2 cache feed with miss events.
 from __future__ import annotations
 
 from repro.common.counters import EventRateMonitor
+from repro.common.stats import register_stats_component
 
 
 class PressureMonitor:
@@ -30,6 +31,7 @@ class PressureMonitor:
         self.cache_pressure_threshold = cache_pressure_threshold
         self._l2_tlb = EventRateMonitor(window_instructions)
         self._l2_cache = EventRateMonitor(window_instructions)
+        register_stats_component(self)
 
     # -- feeding ---------------------------------------------------------- #
     def record_instructions(self, count: int) -> None:

@@ -28,6 +28,7 @@ from repro.cache.cache import Cache
 from repro.cache.block import data_key
 from repro.common.addresses import PTES_PER_CACHE_BLOCK, PageSize, page_number
 from repro.common.pressure import PressureMonitor
+from repro.common.stats import ResettableStats
 from repro.core.ptw_cp import PTWCostPredictor
 from repro.memory.page_table import PageTableEntry, RadixPageTable
 from repro.mmu.page_walker import PageTableWalker
@@ -58,7 +59,7 @@ class VictimaStats:
         return self.block_hits / self.probes if self.probes else 0.0
 
 
-class VictimaController:
+class VictimaController(ResettableStats):
     """Inserts and probes (nested) TLB blocks in the L2 cache."""
 
     def __init__(
@@ -85,6 +86,7 @@ class VictimaController:
         self.use_predictor = use_predictor
         self.bypass_on_low_locality = bypass_on_low_locality
         self.stats = VictimaStats()
+        self._register_stats()
 
     # ------------------------------------------------------------------ #
     # Probing (the parallel L2-cache lookup on an L2 TLB miss)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.common.stats import register_stats_component
+
 
 @dataclass
 class DramConfig:
@@ -40,10 +42,14 @@ class DramStats:
 class DramModel:
     """Open-row DRAM latency model."""
 
+    # reset_stats replaces the stats object (callers re-read it), so the
+    # registry is used directly instead of the ResettableStats default.
+
     def __init__(self, config: DramConfig | None = None):
         self.config = config or DramConfig()
         self.stats = DramStats()
         self._open_rows: Dict[int, int] = {}
+        register_stats_component(self)
 
     def access(self, paddr: int, write: bool = False) -> int:
         """Access ``paddr`` and return the access latency in cycles."""

@@ -40,13 +40,30 @@ class MaintenanceResult:
 
 
 class TLBMaintenance:
-    """Coordinates invalidations across TLBs, PWCs and Victima's TLB blocks."""
+    """Coordinates invalidations across TLBs, PWCs and the translation backend.
+
+    ``victima`` keeps its historical direct handle (and cost model); passing a
+    :class:`~repro.backends.base.TranslationBackend` instead wires whatever
+    invalidatable state the backend declares: a Victima backend contributes
+    its controller, backends whose structures are already in ``tlbs`` (the L3
+    TLB) or hold no invalidatable state contribute nothing extra, and
+    memory-resident backends (the hashed page table) have their generic
+    ``invalidate_*`` hooks called on every operation.
+    """
 
     def __init__(self, tlbs: List[TLB], pwcs: Optional[PageWalkCaches] = None,
-                 victima=None):
+                 victima=None, backend=None):
         self.tlbs = tlbs
         self.pwcs = pwcs
+        self.backend = backend
+        if victima is None and backend is not None:
+            victima = backend.victima
         self.victima = victima
+        # Backends whose structures are not the Victima controller and not a
+        # TLB already swept via ``tlbs`` get their own invalidation hooks.
+        self._backend_invalidates = (backend is not None
+                                     and backend.victima is None
+                                     and backend.l3_tlb is None)
 
     # ------------------------------------------------------------------ #
     # Context switches (Section 6.1)
@@ -72,6 +89,11 @@ class TLBMaintenance:
                 entries += tlb.invalidate_asid(outgoing_asid)
             if self.victima is not None:
                 blocks = self.victima.invalidate_asid(outgoing_asid)
+        if self._backend_invalidates:
+            if full_flush:
+                entries += self.backend.invalidate_all()
+            else:
+                entries += self.backend.invalidate_asid(outgoing_asid)
         cycles = FULL_CACHE_SWEEP_CYCLES if self.victima is not None else 0
         return MaintenanceResult("context_switch", entries, blocks, cycles)
 
@@ -86,6 +108,8 @@ class TLBMaintenance:
         if self.victima is not None:
             blocks = self.victima.invalidate_page(vaddr, asid)
             cycles += SINGLE_BLOCK_INVALIDATION_CYCLES
+        if self._backend_invalidates:
+            entries += self.backend.invalidate_page(vaddr, asid)
         return MaintenanceResult("shootdown_page", entries, blocks, cycles)
 
     def shootdown_range(self, start_vaddr: int, size_bytes: int, asid: int,
@@ -101,6 +125,8 @@ class TLBMaintenance:
             if self.victima is not None:
                 blocks += self.victima.invalidate_page(vaddr, asid)
                 cycles += SINGLE_BLOCK_INVALIDATION_CYCLES
+            if self._backend_invalidates:
+                entries += self.backend.invalidate_page(vaddr, asid)
             vaddr += page_size_bytes
         return MaintenanceResult("shootdown_range", entries, blocks, cycles)
 
@@ -110,4 +136,6 @@ class TLBMaintenance:
         if self.pwcs is not None:
             self.pwcs.invalidate_all()
         blocks = self.victima.invalidate_all() if self.victima is not None else 0
+        if self._backend_invalidates:
+            entries += self.backend.invalidate_all()
         return MaintenanceResult("flush_all", entries, blocks, FULL_CACHE_SWEEP_CYCLES)

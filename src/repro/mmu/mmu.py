@@ -10,8 +10,15 @@ TLB:
 * a POM-TLB, i.e. a large software-managed TLB resident in memory,
 * Victima, which probes the L2 cache for TLB blocks in parallel with the walk.
 
+The back-end behind the L2 TLB is a pluggable
+:class:`~repro.backends.base.TranslationBackend` (see ``docs/backends.md``):
+the MMU dispatches every L2 TLB miss to ``backend.translate`` and never
+branches on which mechanism is attached.  Constructing an MMU with the legacy
+``victima``/``l3_tlb``/``pom_tlb`` keyword arguments synthesises the matching
+backend, so hand-built MMUs keep working unchanged.
+
 The virtualized MMU (nested paging, Figure 3 / 19) lives in
-:mod:`repro.virt.nested_mmu` and reuses the same components.
+:mod:`repro.virt.virt_mmu` and reuses the same components.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.addresses import PageSize
 from repro.common.pressure import PressureMonitor
+from repro.common.stats import ResettableStats
 from repro.memory.page_allocator import VirtualMemoryManager
 from repro.memory.page_table import PageTableEntry
 from repro.mmu.page_walker import PageTableWalker
@@ -113,8 +121,14 @@ class MMUStats:
         return self.total_translation_latency / self.translations if self.translations else 0.0
 
 
-class MMU:
-    """Two-level TLB hierarchy + page-table walker + optional back-end."""
+class MMU(ResettableStats):
+    """Two-level TLB hierarchy + page-table walker + pluggable back-end.
+
+    ``backend`` is any :class:`~repro.backends.base.TranslationBackend`; when
+    omitted, one is synthesised from the legacy ``victima`` / ``l3_tlb`` /
+    ``pom_tlb`` keyword arguments (their historical priority order), so both
+    construction styles behave identically.
+    """
 
     def __init__(
         self,
@@ -129,6 +143,7 @@ class MMU:
         pom_tlb=None,
         victima=None,
         asid: int = 0,
+        backend=None,
     ):
         self.l1_itlb = l1_itlb
         self.l1_dtlb_4k = l1_dtlb_4k
@@ -138,11 +153,20 @@ class MMU:
         self.memory_manager = memory_manager
         self.page_table = memory_manager.page_table
         self.pressure = pressure
-        self.l3_tlb = l3_tlb
-        self.pom_tlb = pom_tlb
-        self.victima = victima
+        if backend is None:
+            # Deferred import: repro.backends imports ServedBy from this module.
+            from repro.backends.native import default_native_backend
+            backend = default_native_backend(walker, self.page_table,
+                                             victima=victima, l3_tlb=l3_tlb,
+                                             pom_tlb=pom_tlb)
+        self.backend = backend
+        # Legacy structure handles (result collection, tests) follow the backend.
+        self.l3_tlb = backend.l3_tlb
+        self.pom_tlb = backend.pom_tlb
+        self.victima = backend.victima
         self.asid = asid
         self.stats = MMUStats()
+        self._register_stats()
 
     # ------------------------------------------------------------------ #
     # Translation flow
@@ -218,68 +242,23 @@ class MMU:
             self.stats.record(result)
             return result
 
-        # -- L2 TLB miss --------------------------------------------------- #
+        # -- L2 TLB miss: dispatch to the translation backend -------------- #
         self.pressure.record_l2_tlb_miss()
         pte.features.l2_tlb_misses.increment()
-        served_by, resolved_pte, miss_latency, breakdown, walked = self._resolve_miss(vaddr, asid)
-        latency += miss_latency
+        miss = self.backend.translate(vaddr, asid)
+        resolved_pte = miss.pte
+        latency += miss.latency
 
         self._fill_l2(resolved_pte, asid)
         self._fill_l1(resolved_pte, asid, is_instruction)
 
         result = TranslationResult(
             vaddr=vaddr, paddr=resolved_pte.translate(vaddr), pte=resolved_pte,
-            latency=latency, served_by=served_by,
-            l1_tlb_miss=True, l2_tlb_miss=True, page_walk=walked,
-            miss_latency=miss_latency, miss_breakdown=breakdown)
+            latency=latency, served_by=miss.served_by,
+            l1_tlb_miss=True, l2_tlb_miss=True, page_walk=miss.walked,
+            miss_latency=miss.latency, miss_breakdown=miss.breakdown)
         self.stats.record(result)
         return result
-
-    # ------------------------------------------------------------------ #
-    # Miss resolution (one of the evaluated back-ends)
-    # ------------------------------------------------------------------ #
-    def _resolve_miss(self, vaddr: int, asid: int):
-        breakdown: Dict[str, int] = {}
-
-        if self.victima is not None:
-            # Probe the L2 cache for a TLB block in parallel with starting the
-            # walk (Figure 17).  On a hit the walk is aborted; on a miss the
-            # probe is fully overlapped with the walk, so only the walk's
-            # latency appears on the critical path.
-            block_pte, probe_latency = self.victima.probe(vaddr, asid)
-            if block_pte is not None:
-                breakdown["l2_cache"] = probe_latency
-                return ServedBy.VICTIMA_BLOCK, block_pte, probe_latency, breakdown, False
-            walk = self.walker.walk(self.page_table, vaddr)
-            breakdown["walk"] = walk.latency
-            self.victima.on_l2_tlb_miss(walk.pte)
-            return ServedBy.PAGE_WALK, walk.pte, walk.latency, breakdown, True
-
-        if self.l3_tlb is not None:
-            l3_latency = self.l3_tlb.latency
-            entry = self.l3_tlb.lookup(vaddr, asid)
-            if entry is not None:
-                breakdown["l3_tlb"] = l3_latency
-                return ServedBy.L3_TLB, entry.pte, l3_latency, breakdown, False
-            walk = self.walker.walk(self.page_table, vaddr)
-            self.l3_tlb.insert(walk.pte, asid)
-            breakdown["l3_tlb"] = l3_latency
-            breakdown["walk"] = walk.latency
-            return ServedBy.PAGE_WALK, walk.pte, l3_latency + walk.latency, breakdown, True
-
-        if self.pom_tlb is not None:
-            pom_pte, pom_latency = self.pom_tlb.lookup(vaddr, asid)
-            breakdown["stlb"] = pom_latency
-            if pom_pte is not None:
-                return ServedBy.POM_TLB, pom_pte, pom_latency, breakdown, False
-            walk = self.walker.walk(self.page_table, vaddr)
-            self.pom_tlb.insert(walk.pte, asid)
-            breakdown["walk"] = walk.latency
-            return ServedBy.PAGE_WALK, walk.pte, pom_latency + walk.latency, breakdown, True
-
-        walk = self.walker.walk(self.page_table, vaddr)
-        breakdown["walk"] = walk.latency
-        return ServedBy.PAGE_WALK, walk.pte, walk.latency, breakdown, True
 
     # ------------------------------------------------------------------ #
     # TLB fills
@@ -316,5 +295,4 @@ class MMU:
         if evicted is not None:
             self.stats.l2_tlb_evictions += 1
             evicted.pte.features.l2_tlb_evictions.increment()
-            if self.victima is not None:
-                self.victima.on_l2_tlb_eviction(evicted)
+            self.backend.on_l2_tlb_eviction(evicted)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cache.hierarchy import CacheHierarchy, MemoryLevel
+from repro.common.stats import ResettableStats
 from repro.memory.page_table import PageTableEntry, RadixPageTable
 from repro.mmu.pwc import PageWalkCaches
 
@@ -60,13 +61,14 @@ class PTWStats:
         return self.total_latency / self.walks if self.walks else 0.0
 
 
-class PageTableWalker:
+class PageTableWalker(ResettableStats):
     """Dedicated hardware walker with split page-walk caches."""
 
     def __init__(self, hierarchy: CacheHierarchy, pwcs: Optional[PageWalkCaches] = None):
         self.hierarchy = hierarchy
         self.pwcs = pwcs or PageWalkCaches()
         self.stats = PTWStats()
+        self._register_stats()
 
     def walk(self, page_table: RadixPageTable, vaddr: int,
              background: bool = False) -> PTWResult:

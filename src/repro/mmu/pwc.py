@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.common.addresses import radix_indices
 from repro.common.errors import ConfigurationError
+from repro.common.stats import ResettableStats
 
 
 @dataclass
@@ -71,7 +72,7 @@ class _SplitPWC:
             pwc_set.clear()
 
 
-class PageWalkCaches:
+class PageWalkCaches(ResettableStats):
     """The set of split PWCs for the non-leaf levels of the page table."""
 
     #: Levels covered by split PWCs (PML4 = 0, PDPT = 1, PD = 2).
@@ -88,6 +89,7 @@ class PageWalkCaches:
         # Hot-path precomputation: probe deepest-first, without re-sorting
         # the level dict on every walk.
         self._probe_order = tuple(sorted(self._pwcs, reverse=True))
+        self._register_stats()
 
     def deepest_hit_level(self, asid: int, vaddr: int, max_level: int) -> Optional[int]:
         """Return the deepest cached non-leaf level that hits, if any.

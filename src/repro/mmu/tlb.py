@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.addresses import PageSize, is_power_of_two, page_number
 from repro.common.errors import ConfigurationError
+from repro.common.stats import ResettableStats
 from repro.memory.page_table import PageTableEntry
 
 
@@ -74,7 +75,7 @@ class TLBStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-class TLB:
+class TLB(ResettableStats):
     """A set-associative TLB with LRU replacement."""
 
     def __init__(
@@ -106,6 +107,7 @@ class TLB:
         # property (which recomputes a bit_length per call).
         self._probe_plan: Tuple[Tuple[PageSize, int, str], ...] = tuple(
             (ps, ps.offset_bits, ps.label) for ps in self.page_sizes)
+        self._register_stats()
 
     # ------------------------------------------------------------------ #
     # Indexing

@@ -30,6 +30,8 @@ class SystemKind(enum.Enum):
     VIRT_POM_TLB = "virt_pom_tlb"
     IDEAL_SHADOW_PAGING = "ideal_shadow_paging"
     VIRT_VICTIMA = "virt_victima"
+    # Additional baselines (registered via repro.backends)
+    HASH_PT = "hash_pt"
 
     @property
     def is_virtualized(self) -> bool:
@@ -151,6 +153,34 @@ class PomTLBConfig:
             raise ConfigurationError("POM-TLB entry size must be positive")
 
 
+@dataclass
+class HashPTConfig:
+    """Geometry of the hashed-page-table baseline (``hash_pt``).
+
+    The table is an open-hash structure in a contiguous physical region:
+    ``entries // bucket_slots`` buckets of ``bucket_slots`` translation slots
+    each; a lookup fetches the bucket's cache blocks from the memory
+    hierarchy sequentially until the translation (or an empty slot) is found.
+    """
+
+    entries: int = 64 * 1024
+    bucket_slots: int = 8
+    entry_size_bytes: int = 16
+
+    def validate(self) -> None:
+        if self.entries <= 0 or self.bucket_slots <= 0:
+            raise ConfigurationError(
+                "hashed-PT entries and bucket slots must be positive")
+        if self.entries % self.bucket_slots != 0:
+            raise ConfigurationError(
+                "hashed-PT entries must be a multiple of bucket_slots")
+        buckets = self.entries // self.bucket_slots
+        if buckets & (buckets - 1):
+            raise ConfigurationError("hashed-PT bucket count must be a power of two")
+        if self.entry_size_bytes <= 0:
+            raise ConfigurationError("hashed-PT entry size must be positive")
+
+
 #: Upper bound on ``SystemConfig.num_cores``.  One tenant address-space slot
 #: is reserved per core (see :mod:`repro.traces.combinators`), and slots beyond
 #: 15 would escape the 48-bit virtual address space of the radix page table.
@@ -174,6 +204,7 @@ class SystemConfig:
     dram: DramTimingConfig = field(default_factory=DramTimingConfig)
     victima: VictimaConfig = field(default_factory=VictimaConfig)
     pom_tlb: PomTLBConfig = field(default_factory=PomTLBConfig)
+    hash_pt: HashPTConfig = field(default_factory=HashPTConfig)
     physical_memory_bytes: int = 64 * 1024 * 1024 * 1024
     #: Base cycles-per-instruction of the core for non-memory work.
     base_cpi: float = 0.35
@@ -201,6 +232,7 @@ class SystemConfig:
             self.l3_cache.validate()
         self.dram.validate()
         self.pom_tlb.validate()
+        self.hash_pt.validate()
         if self.kind is SystemKind.L3_TLB and self.mmu.l3_tlb is None:
             raise ConfigurationError("an L3-TLB system needs mmu.l3_tlb configured")
         if self.kind.uses_victima and self.l2_cache.replacement_policy not in (

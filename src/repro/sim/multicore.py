@@ -142,10 +142,16 @@ class MultiCoreSimulator:
                 continue
             for base, size in workload.memory_regions():
                 mapped += self.system.memory_manager.prefault_range(base, size)
-        if self.system.pom_tlb is not None:
-            # As in the single-core engine, the (shared) POM-TLB starts warm:
-            # it has accumulated every translation walked before the region
-            # of interest.
+        shared = getattr(self.system, "shared_backend", None)
+        if shared is not None:
+            # As in the single-core engine, the shared backend structure (the
+            # POM-TLB or the hashed page table) starts warm: it has
+            # accumulated every translation walked before the region of
+            # interest.  Warm it exactly once through the shared structure —
+            # per-core ports only route lookups.
+            for pte in self.system.page_table.all_entries():
+                shared.insert(pte, pte.asid)
+        elif self.system.pom_tlb is not None:
             for pte in self.system.page_table.all_entries():
                 self.system.pom_tlb.insert(pte, pte.asid)
         return mapped
@@ -266,15 +272,24 @@ class MultiCoreSimulator:
     # Warm-up resets
     # ------------------------------------------------------------------ #
     def _reset_core_stats(self, run: _CoreRun) -> None:
-        """Zero one core's measured statistics at its warm-up boundary."""
+        """Zero one core's measured statistics at its warm-up boundary.
+
+        Cores built by :func:`repro.sim.system.build_multicore_system` carry a
+        per-core :class:`~repro.common.stats.StatsRegistry`; hand-assembled
+        cores fall back to the historical field-by-field reset.
+        """
         core = run.core
-        core.mmu.stats.__init__()
-        core.walker.stats.__init__()
-        for cache in core.private_caches():
-            cache.stats.__init__()
-        if core.victima is not None:
-            core.victima.stats.__init__()
-        core.pressure.reset_stats()
+        registry = getattr(core, "stats_registry", None)
+        if registry is not None:
+            registry.reset_all()
+        else:
+            core.mmu.stats.__init__()
+            core.walker.stats.__init__()
+            for cache in core.private_caches():
+                cache.stats.__init__()
+            if core.victima is not None:
+                core.victima.stats.__init__()
+            core.pressure.reset_stats()
         run.instructions = 0
         run.cycles = 0.0
         run.translation_cycles = 0.0
@@ -283,6 +298,10 @@ class MultiCoreSimulator:
 
     def _reset_shared_stats(self) -> None:
         """Zero shared-structure statistics once every core is warm."""
+        registry = getattr(self.system, "stats_registry", None)
+        if registry is not None:
+            registry.reset_all()
+            return
         for cache in self.system.shared_caches():
             cache.stats.__init__()
         self.system.dram.reset_stats()

@@ -22,6 +22,11 @@ Virtualized execution (Figure 27):
     * ``virt_pom_tlb`` — NP plus the POM-TLB.
     * ``ideal_shadow`` — ideal shadow paging.
     * ``virt_victima`` — Victima caching both TLB and nested TLB blocks.
+
+Any other name falls through to the translation-backend registry
+(:mod:`repro.backends`): every registered backend name — e.g. ``hash_pt``,
+the hashed-page-table baseline — is a valid system name here, in scenarios
+and on the ``repro run`` command line.  See ``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -134,7 +139,16 @@ def make_system_config(name: str, l3_latency: Optional[int] = None,
         config.label = "Victima (virtualized)"
         config.l2_cache.replacement_policy = "tlb_aware_srrip"
     else:
-        raise ConfigurationError(f"unknown system name: {name!r}")
+        # Fall through to the backend registry: any registered backend name
+        # (e.g. ``hash_pt``, or one registered by downstream code) is a valid
+        # preset.  ``get_backend`` raises a ConfigurationError listing every
+        # registered name when the lookup fails.
+        from repro.backends import get_backend
+        spec = get_backend(name)
+        config.kind = spec.kind
+        config.label = spec.label
+        if spec.configure is not None:
+            spec.configure(config)
 
     if l2_cache_bytes is not None:
         config.l2_cache = CacheConfig(
@@ -184,6 +198,12 @@ def _apply_hardware_scale(config: SystemConfig, scale: int) -> None:
     assoc = config.pom_tlb.associativity
     scaled = (config.pom_tlb.entries // scale // assoc) * assoc
     config.pom_tlb.entries = max(assoc * 64, scaled)
+    # Same reasoning for the hashed page table; its bucket count must stay a
+    # power of two, so scale by the next power of two below the factor.
+    slots = config.hash_pt.bucket_slots
+    bucket_scale = 1 << max(0, scale.bit_length() - 1)
+    scaled_buckets = max(64, (config.hash_pt.entries // slots) // bucket_scale)
+    config.hash_pt.entries = scaled_buckets * slots
 
 
 #: Default number of memory references per workload for experiment runs.  The

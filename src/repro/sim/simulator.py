@@ -145,6 +145,19 @@ class SimulationResult:
     def tlb_block_reuse_buckets(self) -> Dict[str, float]:
         return reuse_buckets(self.tlb_block_reuse_histogram)
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable deep copy of every field (nested dataclasses
+        included).
+
+        Histogram keys become strings under ``json.dumps``; as long as both
+        sides of a comparison round-trip through JSON the representation is
+        canonical, which is what the backend parity pins
+        (``tests/test_backends.py``) rely on.
+        """
+        from dataclasses import asdict
+
+        return asdict(self)
+
     def summary(self) -> Dict[str, object]:
         """A flat dictionary of headline metrics (used in reports and examples).
 
@@ -285,10 +298,14 @@ class Simulator:
                 while vaddr < end:
                     combined = walker.install_shadow_mapping(vaddr)
                     vaddr = (combined.vpn + 1) << combined.page_size.offset_bits
-        if self.system.pom_tlb is not None:
-            # The POM-TLB accumulates every translation ever walked; over the
-            # billions of instructions preceding the region of interest it
-            # holds (essentially) the whole working set, so it starts warm.
+        backend = getattr(self.system, "backend", None)
+        if backend is not None:
+            # Backends that accumulate translations over a process lifetime
+            # (the POM-TLB, the hashed page table) start warm: over the
+            # billions of instructions preceding the region of interest they
+            # hold (essentially) the whole working set.
+            backend.warm_start(self.system.page_table)
+        elif self.system.pom_tlb is not None:
             for pte in self.system.page_table.all_entries():
                 self.system.pom_tlb.insert(pte, pte.asid)
         return mapped
@@ -472,8 +489,19 @@ class Simulator:
                              reach_samples_4k)
 
     def _reset_measured_stats(self) -> None:
-        """Zero the statistics accumulated during warm-up, keeping all state."""
+        """Zero the statistics accumulated during warm-up, keeping all state.
+
+        Systems built by :func:`repro.sim.system.build_system` carry a
+        :class:`~repro.common.stats.StatsRegistry` holding every stat-bearing
+        component registered at construction, so the boundary is one walk of
+        one list; hand-assembled systems fall back to the historical
+        field-by-field reset.
+        """
         system = self.system
+        registry = getattr(system, "stats_registry", None)
+        if registry is not None:
+            registry.reset_all()
+            return
         system.mmu.stats.__init__()
         system.walker.stats.__init__()
         if system.nested_walker is not None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from repro.backends import NativeBuildContext, VirtBuildContext, backend_for_kind
 from repro.baselines.pom_tlb import POMTLB, POMTLBPort
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import CacheHierarchy
@@ -24,7 +25,7 @@ from repro.cache.prefetcher import IPStridePrefetcher, Prefetcher, StreamPrefetc
 from repro.cache.replacement import make_policy
 from repro.common.errors import ConfigurationError
 from repro.common.pressure import PressureMonitor
-from repro.core.ptw_cp import BoundingBox, ComparatorPTWCostPredictor
+from repro.common.stats import StatsRegistry
 from repro.core.victima import VictimaController
 from repro.memory.dram import DramConfig, DramModel
 from repro.memory.page_allocator import VirtualMemoryManager
@@ -37,7 +38,7 @@ from repro.mmu.tlb import TLB
 from repro.sim.config import CacheConfig, SystemConfig, SystemKind, TLBConfig
 from repro.virt.nested import NestedPageTableWalker
 from repro.virt.shadow import ShadowPageTableBuilder
-from repro.virt.virt_mmu import VirtMode, VirtualizedMMU
+from repro.virt.virt_mmu import VirtualizedMMU
 
 
 @dataclass
@@ -58,6 +59,11 @@ class System:
     l3_tlb: Optional[TLB] = None
     nested_walker: Optional[NestedPageTableWalker] = None
     shadow_builder: Optional[ShadowPageTableBuilder] = None
+    #: The translation backend the registry built (also ``mmu.backend``).
+    backend: Optional[object] = None
+    #: Every stat-bearing component, registered at construction; the
+    #: simulator's warm-up boundary resets them all with one call.
+    stats_registry: Optional[StatsRegistry] = None
 
     @property
     def is_virtualized(self) -> bool:
@@ -120,39 +126,47 @@ def build_system(config: SystemConfig,
         return build_multicore_system(config, huge_page_fraction)
     kind = config.kind
 
-    physical = PhysicalMemory(config.physical_memory_bytes)
-    dram = DramModel(DramConfig(
-        row_hit_latency=config.dram.row_hit_latency,
-        row_miss_latency=config.dram.row_miss_latency,
-        num_banks=config.dram.num_banks,
-    ))
-    pressure = PressureMonitor(
-        tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
-        cache_pressure_threshold=config.victima.cache_pressure_threshold,
-    )
+    # Every stat-bearing component constructed inside this block registers
+    # itself; the simulator's warm-up boundary resets them with one call.
+    registry = StatsRegistry()
+    with registry.activate():
+        physical = PhysicalMemory(config.physical_memory_bytes)
+        dram = DramModel(DramConfig(
+            row_hit_latency=config.dram.row_hit_latency,
+            row_miss_latency=config.dram.row_miss_latency,
+            num_banks=config.dram.num_banks,
+        ))
+        pressure = PressureMonitor(
+            tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
+            cache_pressure_threshold=config.victima.cache_pressure_threshold,
+        )
 
-    l1i = _make_cache("L1-I", config.l1i_cache, pressure)
-    l1d = _make_cache("L1-D", config.l1d_cache, pressure)
-    l2 = _make_cache("L2", config.l2_cache, pressure)
-    l3 = _make_cache("L3", config.l3_cache, pressure) if config.l3_cache is not None else None
-    hierarchy = CacheHierarchy(
-        l1i, l1d, l2, l3, dram,
-        l1d_prefetcher=_make_prefetcher(config.l1d_cache.prefetcher),
-        l2_prefetcher=_make_prefetcher(config.l2_cache.prefetcher),
-    )
+        l1i = _make_cache("L1-I", config.l1i_cache, pressure)
+        l1d = _make_cache("L1-D", config.l1d_cache, pressure)
+        l2 = _make_cache("L2", config.l2_cache, pressure)
+        l3 = (_make_cache("L3", config.l3_cache, pressure)
+              if config.l3_cache is not None else None)
+        hierarchy = CacheHierarchy(
+            l1i, l1d, l2, l3, dram,
+            l1d_prefetcher=_make_prefetcher(config.l1d_cache.prefetcher),
+            l2_prefetcher=_make_prefetcher(config.l2_cache.prefetcher),
+        )
 
-    l1_itlb = _make_tlb("L1-ITLB", config.mmu.l1_itlb)
-    l1_dtlb_4k = _make_tlb("L1-DTLB-4K", config.mmu.l1_dtlb_4k)
-    l1_dtlb_2m = _make_tlb("L1-DTLB-2M", config.mmu.l1_dtlb_2m)
-    l2_tlb = _make_tlb("L2-TLB", config.mmu.l2_tlb)
+        l1_itlb = _make_tlb("L1-ITLB", config.mmu.l1_itlb)
+        l1_dtlb_4k = _make_tlb("L1-DTLB-4K", config.mmu.l1_dtlb_4k)
+        l1_dtlb_2m = _make_tlb("L1-DTLB-2M", config.mmu.l1_dtlb_2m)
+        l2_tlb = _make_tlb("L2-TLB", config.mmu.l2_tlb)
 
-    if not kind.is_virtualized:
-        return _build_native(config, physical, dram, hierarchy, pressure,
-                             l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
-                             huge_page_fraction)
-    return _build_virtualized(config, physical, dram, hierarchy, pressure,
-                              l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
-                              huge_page_fraction)
+        if not kind.is_virtualized:
+            system = _build_native(config, physical, dram, hierarchy, pressure,
+                                   l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb,
+                                   huge_page_fraction)
+        else:
+            system = _build_virtualized(config, physical, dram, hierarchy,
+                                        pressure, l1_itlb, l1_dtlb_4k,
+                                        l1_dtlb_2m, l2_tlb, huge_page_fraction)
+    system.stats_registry = registry
+    return system
 
 
 # --------------------------------------------------------------------------- #
@@ -168,44 +182,29 @@ def _build_native(config, physical, dram, hierarchy, pressure,
                           config.mmu.pwc_latency)
     walker = PageTableWalker(hierarchy, pwcs)
 
-    victima = None
-    pom_tlb = None
-    l3_tlb = None
-
-    if kind.uses_victima:
-        predictor = ComparatorPTWCostPredictor(BoundingBox(
-            min_frequency=config.victima.predictor_min_frequency,
-            min_cost=config.victima.predictor_min_cost))
-        victima = VictimaController(
-            l2_cache=hierarchy.l2,
-            page_table=memory_manager.page_table,
-            walker=walker,
-            predictor=predictor,
-            pressure=pressure,
-            insert_on_miss=config.victima.insert_on_miss,
-            insert_on_eviction=config.victima.insert_on_eviction,
-            use_predictor=config.victima.use_predictor,
-            bypass_on_low_locality=config.victima.bypass_on_low_locality,
-        )
-    elif kind is SystemKind.POM_TLB:
-        pom_tlb = POMTLB(physical, hierarchy, entries=config.pom_tlb.entries,
-                         associativity=config.pom_tlb.associativity,
-                         entry_size_bytes=config.pom_tlb.entry_size_bytes)
-    elif kind is SystemKind.L3_TLB:
-        l3_tlb = _make_tlb("L3-TLB", config.mmu.l3_tlb)
+    # The registry supplies the translation backend for the configured kind;
+    # its build hook constructs whatever structures the mechanism needs
+    # (Victima controller, POM-TLB reservation, L3 TLB, hashed table, ...).
+    spec = backend_for_kind(kind)
+    backend = spec.build(NativeBuildContext(
+        config=config, physical=physical, hierarchy=hierarchy,
+        pressure=pressure, walker=walker, memory_manager=memory_manager))
+    backend.name = spec.name
 
     mmu = MMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, walker, memory_manager,
-              pressure, l3_tlb=l3_tlb, pom_tlb=pom_tlb, victima=victima, asid=0)
+              pressure, asid=0, backend=backend)
+    victima = backend.victima
+    l3_tlb = backend.l3_tlb
 
     tlbs: List[TLB] = [l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb]
     if l3_tlb is not None:
         tlbs.append(l3_tlb)
-    maintenance = TLBMaintenance(tlbs, pwcs, victima)
+    maintenance = TLBMaintenance(tlbs, pwcs, backend=backend)
 
     return System(config=config, physical=physical, dram=dram, hierarchy=hierarchy,
                   pressure=pressure, memory_manager=memory_manager, walker=walker,
-                  mmu=mmu, maintenance=maintenance, victima=victima, pom_tlb=pom_tlb,
-                  l3_tlb=l3_tlb)
+                  mmu=mmu, maintenance=maintenance, victima=victima,
+                  pom_tlb=backend.pom_tlb, l3_tlb=l3_tlb, backend=backend)
 
 
 # --------------------------------------------------------------------------- #
@@ -236,28 +235,17 @@ def _build_virtualized(config, physical, dram, hierarchy, pressure,
     shadow_builder = ShadowPageTableBuilder(physical, vmid=0)
     nested_tlb = _make_tlb("Nested-TLB", config.mmu.nested_tlb)
 
-    victima = None
-    pom_tlb = None
-    if kind is SystemKind.VIRT_VICTIMA:
-        predictor = ComparatorPTWCostPredictor(BoundingBox(
-            min_frequency=config.victima.predictor_min_frequency,
-            min_cost=config.victima.predictor_min_cost))
-        victima = VictimaController(
-            l2_cache=hierarchy.l2,
-            page_table=shadow_builder.table,
-            walker=shadow_walker,
-            predictor=predictor,
-            pressure=pressure,
-            host_page_table=host_vmm.page_table,
-            insert_on_miss=config.victima.insert_on_miss,
-            insert_on_eviction=config.victima.insert_on_eviction,
-            use_predictor=config.victima.use_predictor,
-            bypass_on_low_locality=config.victima.bypass_on_low_locality,
-        )
-    elif kind is SystemKind.VIRT_POM_TLB:
-        pom_tlb = POMTLB(physical, hierarchy, entries=config.pom_tlb.entries,
-                         associativity=config.pom_tlb.associativity,
-                         entry_size_bytes=config.pom_tlb.entry_size_bytes)
+    # The backend's build hook runs exactly where the Victima controller /
+    # POM-TLB used to be constructed (physical-memory reservation order
+    # matters); the nested walker is built afterwards because it takes the
+    # backend's Victima controller, then bound to the backend.
+    spec = backend_for_kind(kind)
+    backend = spec.build(VirtBuildContext(
+        config=config, physical=physical, hierarchy=hierarchy, pressure=pressure,
+        shadow_builder=shadow_builder, shadow_walker=shadow_walker,
+        host_vmm=host_vmm))
+    backend.name = spec.name
+    victima = backend.victima
 
     nested_walker = NestedPageTableWalker(
         guest_vmm=guest_vmm, host_vmm=host_vmm, host_walker=host_walker,
@@ -265,20 +253,19 @@ def _build_virtualized(config, physical, dram, hierarchy, pressure,
         guest_pwcs=PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
                                   config.mmu.pwc_latency),
         victima=victima, vmid=0)
+    backend.bind(nested_walker)
 
-    mode = (VirtMode.SHADOW_PAGING if kind is SystemKind.IDEAL_SHADOW_PAGING
-            else VirtMode.NESTED_PAGING)
     mmu = VirtualizedMMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, nested_walker,
-                         shadow_walker, pressure, mode=mode, pom_tlb=pom_tlb,
-                         victima=victima, vmid=0)
+                         shadow_walker, pressure, vmid=0, backend=backend)
 
     tlbs: List[TLB] = [l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, nested_tlb]
-    maintenance = TLBMaintenance(tlbs, host_pwcs, victima)
+    maintenance = TLBMaintenance(tlbs, host_pwcs, backend=backend)
 
     return System(config=config, physical=physical, dram=dram, hierarchy=hierarchy,
                   pressure=pressure, memory_manager=guest_vmm, walker=host_walker,
-                  mmu=mmu, maintenance=maintenance, victima=victima, pom_tlb=pom_tlb,
-                  nested_walker=nested_walker, shadow_builder=shadow_builder)
+                  mmu=mmu, maintenance=maintenance, victima=victima,
+                  pom_tlb=backend.pom_tlb, nested_walker=nested_walker,
+                  shadow_builder=shadow_builder, backend=backend)
 
 
 # --------------------------------------------------------------------------- #
@@ -305,6 +292,10 @@ class Core:
     victima: Optional[VictimaController] = None
     pom_tlb: Optional[POMTLBPort] = None
     l3_tlb: Optional[TLB] = None
+    #: This core's translation backend (also ``mmu.backend``).
+    backend: Optional[object] = None
+    #: This core's private stat-bearing components (per-core warm-up reset).
+    stats_registry: Optional[StatsRegistry] = None
 
     @property
     def l2_cache(self) -> Cache:
@@ -338,6 +329,11 @@ class MultiCoreSystem:
     memory_manager: VirtualMemoryManager
     cores: List[Core] = field(default_factory=list)
     pom_tlb: Optional[POMTLB] = None
+    #: The once-per-machine structure built by the backend spec's
+    #: ``build_shared`` hook (e.g. the shared POM-TLB or hashed page table).
+    shared_backend: Optional[object] = None
+    #: Machine-wide shared stat-bearing components (LLC, DRAM, POM-TLB, ...).
+    stats_registry: Optional[StatsRegistry] = None
 
     @property
     def is_virtualized(self) -> bool:
@@ -368,96 +364,97 @@ def build_multicore_system(config: SystemConfig,
     if kind.is_virtualized:  # pragma: no cover - validate() already rejects
         raise ConfigurationError("multi-core simulation supports native systems only")
 
-    physical = PhysicalMemory(config.physical_memory_bytes)
-    dram = DramModel(DramConfig(
-        row_hit_latency=config.dram.row_hit_latency,
-        row_miss_latency=config.dram.row_miss_latency,
-        num_banks=config.dram.num_banks,
-    ))
-    shared_pressure = PressureMonitor(
-        tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
-        cache_pressure_threshold=config.victima.cache_pressure_threshold,
-    )
-    llc = (_make_cache("LLC", config.l3_cache, shared_pressure)
-           if config.l3_cache is not None else None)
-    memory_manager = VirtualMemoryManager(physical, asid=0,
-                                          huge_page_fraction=huge_page_fraction)
+    spec = backend_for_kind(kind)
 
-    system = MultiCoreSystem(config=config, physical=physical, dram=dram, llc=llc,
-                             shared_pressure=shared_pressure,
-                             memory_manager=memory_manager)
-
-    # The shared POM-TLB reserves its contiguous physical region once; its
-    # default hierarchy is replaced per lookup by each core's POMTLBPort.
-    hierarchies: List[CacheHierarchy] = []
-    pressures: List[PressureMonitor] = []
-    for _ in range(config.num_cores):
-        pressure = PressureMonitor(
+    # Shared structures register with the machine-wide registry; everything a
+    # core owns registers with that core's registry (per-core warm-up resets).
+    shared_registry = StatsRegistry()
+    with shared_registry.activate():
+        physical = PhysicalMemory(config.physical_memory_bytes)
+        dram = DramModel(DramConfig(
+            row_hit_latency=config.dram.row_hit_latency,
+            row_miss_latency=config.dram.row_miss_latency,
+            num_banks=config.dram.num_banks,
+        ))
+        shared_pressure = PressureMonitor(
             tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
             cache_pressure_threshold=config.victima.cache_pressure_threshold,
         )
-        hierarchy = CacheHierarchy(
-            _make_cache("L1-I", config.l1i_cache, pressure),
-            _make_cache("L1-D", config.l1d_cache, pressure),
-            _make_cache("L2", config.l2_cache, pressure),
-            llc, dram,
-            l1d_prefetcher=_make_prefetcher(config.l1d_cache.prefetcher),
-            l2_prefetcher=_make_prefetcher(config.l2_cache.prefetcher),
-        )
+        llc = (_make_cache("LLC", config.l3_cache, shared_pressure)
+               if config.l3_cache is not None else None)
+        memory_manager = VirtualMemoryManager(physical, asid=0,
+                                              huge_page_fraction=huge_page_fraction)
+
+    system = MultiCoreSystem(config=config, physical=physical, dram=dram, llc=llc,
+                             shared_pressure=shared_pressure,
+                             memory_manager=memory_manager,
+                             stats_registry=shared_registry)
+
+    core_registries = [StatsRegistry() for _ in range(config.num_cores)]
+    hierarchies: List[CacheHierarchy] = []
+    pressures: List[PressureMonitor] = []
+    for core_id in range(config.num_cores):
+        with core_registries[core_id].activate():
+            pressure = PressureMonitor(
+                tlb_pressure_threshold=config.victima.tlb_pressure_threshold,
+                cache_pressure_threshold=config.victima.cache_pressure_threshold,
+            )
+            hierarchy = CacheHierarchy(
+                _make_cache("L1-I", config.l1i_cache, pressure),
+                _make_cache("L1-D", config.l1d_cache, pressure),
+                _make_cache("L2", config.l2_cache, pressure),
+                llc, dram,
+                l1d_prefetcher=_make_prefetcher(config.l1d_cache.prefetcher),
+                l2_prefetcher=_make_prefetcher(config.l2_cache.prefetcher),
+            )
         pressures.append(pressure)
         hierarchies.append(hierarchy)
 
-    shared_pom = (POMTLB(physical, hierarchies[0], entries=config.pom_tlb.entries,
-                         associativity=config.pom_tlb.associativity,
-                         entry_size_bytes=config.pom_tlb.entry_size_bytes)
-                  if kind is SystemKind.POM_TLB else None)
-    system.pom_tlb = shared_pom
+    # The once-per-machine backend structure (e.g. the shared POM-TLB, which
+    # reserves its contiguous physical region once; its default hierarchy is
+    # replaced per lookup by each core's port).
+    shared = None
+    if spec.build_shared is not None:
+        with shared_registry.activate():
+            shared = spec.build_shared(NativeBuildContext(
+                config=config, physical=physical, hierarchy=hierarchies[0],
+                pressure=shared_pressure, walker=None,
+                memory_manager=memory_manager))
+    system.shared_backend = shared
+    system.pom_tlb = shared if kind is SystemKind.POM_TLB else None
 
     for core_id in range(config.num_cores):
         pressure = pressures[core_id]
         hierarchy = hierarchies[core_id]
-        pwcs = PageWalkCaches(config.mmu.pwc_entries, config.mmu.pwc_associativity,
-                              config.mmu.pwc_latency)
-        walker = PageTableWalker(hierarchy, pwcs)
+        with core_registries[core_id].activate():
+            pwcs = PageWalkCaches(config.mmu.pwc_entries,
+                                  config.mmu.pwc_associativity,
+                                  config.mmu.pwc_latency)
+            walker = PageTableWalker(hierarchy, pwcs)
 
-        victima = None
-        pom_port = None
-        l3_tlb = None
-        if kind.uses_victima:
-            predictor = ComparatorPTWCostPredictor(BoundingBox(
-                min_frequency=config.victima.predictor_min_frequency,
-                min_cost=config.victima.predictor_min_cost))
-            victima = VictimaController(
-                l2_cache=hierarchy.l2,
-                page_table=memory_manager.page_table,
-                walker=walker,
-                predictor=predictor,
-                pressure=pressure,
-                insert_on_miss=config.victima.insert_on_miss,
-                insert_on_eviction=config.victima.insert_on_eviction,
-                use_predictor=config.victima.use_predictor,
-                bypass_on_low_locality=config.victima.bypass_on_low_locality,
-            )
-        elif kind is SystemKind.POM_TLB:
-            assert shared_pom is not None
-            pom_port = POMTLBPort(shared_pom, hierarchy)
-        elif kind is SystemKind.L3_TLB:
-            l3_tlb = _make_tlb(f"L3-TLB-c{core_id}", config.mmu.l3_tlb)
+            backend = spec.build(NativeBuildContext(
+                config=config, physical=physical, hierarchy=hierarchy,
+                pressure=pressure, walker=walker, memory_manager=memory_manager,
+                core_id=core_id, shared=shared))
+            backend.name = spec.name
 
-        l1_itlb = _make_tlb(f"L1-ITLB-c{core_id}", config.mmu.l1_itlb)
-        l1_dtlb_4k = _make_tlb(f"L1-DTLB-4K-c{core_id}", config.mmu.l1_dtlb_4k)
-        l1_dtlb_2m = _make_tlb(f"L1-DTLB-2M-c{core_id}", config.mmu.l1_dtlb_2m)
-        l2_tlb = _make_tlb(f"L2-TLB-c{core_id}", config.mmu.l2_tlb)
-        mmu = MMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, walker, memory_manager,
-                  pressure, l3_tlb=l3_tlb, pom_tlb=pom_port, victima=victima, asid=0)
+            l1_itlb = _make_tlb(f"L1-ITLB-c{core_id}", config.mmu.l1_itlb)
+            l1_dtlb_4k = _make_tlb(f"L1-DTLB-4K-c{core_id}", config.mmu.l1_dtlb_4k)
+            l1_dtlb_2m = _make_tlb(f"L1-DTLB-2M-c{core_id}", config.mmu.l1_dtlb_2m)
+            l2_tlb = _make_tlb(f"L2-TLB-c{core_id}", config.mmu.l2_tlb)
+            mmu = MMU(l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb, walker,
+                      memory_manager, pressure, asid=0, backend=backend)
 
+        l3_tlb = backend.l3_tlb
         tlbs: List[TLB] = [l1_itlb, l1_dtlb_4k, l1_dtlb_2m, l2_tlb]
         if l3_tlb is not None:
             tlbs.append(l3_tlb)
-        maintenance = TLBMaintenance(tlbs, pwcs, victima)
+        maintenance = TLBMaintenance(tlbs, pwcs, backend=backend)
 
         system.cores.append(Core(core_id=core_id, hierarchy=hierarchy,
                                  pressure=pressure, walker=walker, mmu=mmu,
-                                 maintenance=maintenance, victima=victima,
-                                 pom_tlb=pom_port, l3_tlb=l3_tlb))
+                                 maintenance=maintenance, victima=backend.victima,
+                                 pom_tlb=backend.pom_tlb, l3_tlb=l3_tlb,
+                                 backend=backend,
+                                 stats_registry=core_registries[core_id]))
     return system

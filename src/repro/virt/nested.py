@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.common.stats import ResettableStats
 from repro.memory.page_allocator import VirtualMemoryManager
 from repro.memory.page_table import PageTableEntry
 from repro.mmu.page_walker import PageTableWalker
@@ -55,7 +56,7 @@ class NestedWalkStats:
         return self.total_latency / self.walks if self.walks else 0.0
 
 
-class NestedPageTableWalker:
+class NestedPageTableWalker(ResettableStats):
     """Performs 2-D walks over a guest page table backed by a host page table."""
 
     def __init__(
@@ -80,6 +81,7 @@ class NestedPageTableWalker:
         self.victima = victima
         self.vmid = vmid
         self.stats = NestedWalkStats()
+        self._register_stats()
 
     # ------------------------------------------------------------------ #
     # Guest-physical → host-physical translation (the "host dimension")

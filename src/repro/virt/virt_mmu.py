@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 from repro.common.addresses import PageSize
 from repro.common.pressure import PressureMonitor
+from repro.common.stats import ResettableStats
 from repro.memory.page_table import PageTableEntry
 from repro.mmu.mmu import ServedBy, TranslationResult
 from repro.mmu.page_walker import PageTableWalker
@@ -58,8 +59,15 @@ class VirtualizedMMUStats:
         return self.total_miss_latency / self.l2_tlb_misses if self.l2_tlb_misses else 0.0
 
 
-class VirtualizedMMU:
-    """Two-level TLB hierarchy over a virtualized translation back-end."""
+class VirtualizedMMU(ResettableStats):
+    """Two-level TLB hierarchy over a virtualized translation back-end.
+
+    ``backend`` is any virtualized
+    :class:`~repro.backends.base.TranslationBackend`; when omitted, one is
+    synthesised from the legacy ``mode`` / ``pom_tlb`` / ``victima`` keyword
+    arguments (their historical priority order), so both construction styles
+    behave identically.
+    """
 
     def __init__(
         self,
@@ -74,6 +82,7 @@ class VirtualizedMMU:
         pom_tlb=None,
         victima=None,
         vmid: int = 0,
+        backend=None,
     ):
         self.l1_itlb = l1_itlb
         self.l1_dtlb_4k = l1_dtlb_4k
@@ -82,13 +91,40 @@ class VirtualizedMMU:
         self.nested_walker = nested_walker
         self.shadow_walker = shadow_walker
         self.pressure = pressure
-        self.mode = mode
-        self.pom_tlb = pom_tlb
-        self.victima = victima
+        if backend is None:
+            # Deferred import: repro.backends imports from this module.
+            from repro.backends.virt import default_virt_backend
+            backend = default_virt_backend(nested_walker, shadow_walker,
+                                           mode=mode, pom_tlb=pom_tlb,
+                                           victima=victima)
+        self.backend = backend
+        # Legacy handles (result collection, tests) follow the backend.
+        self.pom_tlb = backend.pom_tlb
+        self.victima = backend.victima
         self.vmid = vmid
         self.stats = VirtualizedMMUStats()
+        self._register_stats()
 
     # Shared handles ------------------------------------------------------- #
+    @property
+    def mode(self) -> VirtMode:
+        """The active resolution style — mirrors the backend.
+
+        Assigning a different :class:`VirtMode` re-synthesises the backend
+        from the MMU's walkers and legacy handles (the historical behaviour
+        of the mutable ``mode`` attribute, which dispatch used to branch on).
+        """
+        return self.backend.mode
+
+    @mode.setter
+    def mode(self, value: VirtMode) -> None:
+        if value is self.backend.mode:
+            return
+        from repro.backends.virt import default_virt_backend
+        self.backend = default_virt_backend(
+            self.nested_walker, self.shadow_walker, mode=value,
+            pom_tlb=self.pom_tlb, victima=self.victima)
+
     @property
     def shadow_table(self):
         return self.nested_walker.shadow_builder.table
@@ -128,10 +164,13 @@ class VirtualizedMMU:
             self.stats.total_translation_latency += latency
             return result
 
-        # -- L2 TLB miss ----------------------------------------------------- #
+        # -- L2 TLB miss: dispatch to the translation backend ----------------- #
         self.stats.l2_tlb_misses += 1
         self.pressure.record_l2_tlb_miss()
-        served_by, pte, miss_latency, breakdown, walked = self._resolve_miss(gva)
+        miss = self.backend.translate(gva, self.vmid)
+        self._apply_miss_stats(miss)
+        served_by, pte, miss_latency, breakdown, walked = (
+            miss.served_by, miss.pte, miss.latency, miss.breakdown, miss.walked)
         latency += miss_latency
 
         pte.features.l1_tlb_misses.increment()
@@ -155,54 +194,18 @@ class VirtualizedMMU:
     # ------------------------------------------------------------------ #
     # Miss resolution
     # ------------------------------------------------------------------ #
-    def _resolve_miss(self, gva: int):
-        breakdown: Dict[str, int] = {}
-
-        if self.mode is VirtMode.SHADOW_PAGING:
-            # Ideal shadow paging: keep the shadow table in sync for free,
-            # then a one-dimensional walk resolves the translation.
-            self.nested_walker.install_shadow_mapping(gva)
-            walk = self.shadow_walker.walk(self.shadow_table, gva)
-            self.stats.shadow_walks += 1
-            self.stats.guest_page_walks += 1
-            breakdown["guest"] = walk.latency
-            return ServedBy.PAGE_WALK, walk.pte, walk.latency, breakdown, True
-
-        if self.victima is not None:
-            block_pte, probe_latency = self.victima.probe(gva, self.vmid)
-            if block_pte is not None:
-                self.stats.victima_hits += 1
-                breakdown["l2_cache"] = probe_latency
-                return ServedBy.VICTIMA_BLOCK, block_pte, probe_latency, breakdown, False
-            nested = self._nested_walk(gva)
-            breakdown["guest"] = nested.guest_latency
-            breakdown["host"] = nested.host_latency
-            self.victima.on_l2_tlb_miss(nested.combined_pte)
-            return ServedBy.PAGE_WALK, nested.combined_pte, nested.latency, breakdown, True
-
-        if self.pom_tlb is not None:
-            pom_pte, pom_latency = self.pom_tlb.lookup(gva, self.vmid)
-            breakdown["stlb"] = pom_latency
-            if pom_pte is not None:
-                self.stats.pom_tlb_hits += 1
-                return ServedBy.POM_TLB, pom_pte, pom_latency, breakdown, False
-            nested = self._nested_walk(gva)
-            breakdown["guest"] = nested.guest_latency
-            breakdown["host"] = nested.host_latency
-            self.pom_tlb.insert(nested.combined_pte, self.vmid)
-            return (ServedBy.PAGE_WALK, nested.combined_pte,
-                    pom_latency + nested.latency, breakdown, True)
-
-        nested = self._nested_walk(gva)
-        breakdown["guest"] = nested.guest_latency
-        breakdown["host"] = nested.host_latency
-        return ServedBy.PAGE_WALK, nested.combined_pte, nested.latency, breakdown, True
-
-    def _nested_walk(self, gva: int):
-        nested = self.nested_walker.walk(gva)
-        self.stats.guest_page_walks += 1
-        self.stats.host_page_walks += nested.host_walks
-        return nested
+    def _apply_miss_stats(self, miss) -> None:
+        """Fold one :class:`~repro.backends.base.MissResolution` into the
+        MMU's statistics — backends report walk composition, the MMU keeps
+        all the accounting in one place."""
+        stats = self.stats
+        stats.guest_page_walks += miss.guest_walks
+        stats.host_page_walks += miss.host_walks
+        stats.shadow_walks += miss.shadow_walks
+        if miss.served_by is ServedBy.VICTIMA_BLOCK:
+            stats.victima_hits += 1
+        elif miss.served_by is ServedBy.POM_TLB:
+            stats.pom_tlb_hits += 1
 
     # ------------------------------------------------------------------ #
     # TLB fills
@@ -234,5 +237,4 @@ class VirtualizedMMU:
         if evicted is not None:
             self.stats.l2_tlb_evictions += 1
             evicted.pte.features.l2_tlb_evictions.increment()
-            if self.victima is not None:
-                self.victima.on_l2_tlb_eviction(evicted)
+            self.backend.on_l2_tlb_eviction(evicted)

@@ -12,6 +12,9 @@ import doctest
 import pytest
 
 import repro.api
+import repro.backends  # noqa: F401  (registers backends before registry doctests)
+import repro.backends.registry
+import repro.common.stats
 import repro.scenario
 import repro.traces.combinators
 from repro.experiments import runner
@@ -28,6 +31,8 @@ def _fresh_cache():
     repro.api,
     repro.scenario,
     repro.traces.combinators,
+    repro.backends.registry,
+    repro.common.stats,
 ], ids=lambda m: m.__name__)
 def test_public_docstring_examples_run(module):
     results = doctest.testmod(module, verbose=False)

@@ -76,14 +76,21 @@ class TestL2TlbRegex:
         "opt_l2tlb_64", "opt_l2tlb_k", "med_l2tlb_64k", "opt_l2tlb_64kb",
     ])
     def test_malformed_size_names_rejected(self, bogus):
-        with pytest.raises(ConfigurationError, match="unknown system name"):
+        # Unrecognised names fall through to the backend registry, whose
+        # error lists every registered backend name.
+        with pytest.raises(ConfigurationError,
+                           match="unknown translation backend"):
             make_system_config(bogus)
 
 
 class TestRejection:
     def test_unknown_name(self):
-        with pytest.raises(ConfigurationError, match="unknown system name"):
+        with pytest.raises(ConfigurationError,
+                           match="unknown translation backend") as excinfo:
             make_system_config("warp_drive")
+        # The registry error is self-documenting: it lists valid names.
+        assert "victima" in str(excinfo.value)
+        assert "hash_pt" in str(excinfo.value)
 
     def test_unknown_victima_variant(self):
         with pytest.raises(ConfigurationError, match="unknown Victima variant"):

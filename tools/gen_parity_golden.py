@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regenerate the backend parity golden data (tests/data/backend_parity_golden.json).
+
+Runs every evaluated system preset (and two multi-core scenarios) on a small
+deterministic window and records the full ``SimulationResult`` as canonical
+JSON.  ``tests/test_backends.py`` re-runs the same scenarios and asserts
+bit-identical equality, which pins that the translation-backend registry
+dispatch reproduces the pre-registry hard-wired construction exactly.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/gen_parity_golden.py
+
+Only regenerate after an *intentional* behaviour change — and record why in
+the commit message; the whole point of the file is that it does not move.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.sim.simulator import Simulator  # noqa: E402
+
+#: Small but non-trivial windows: large enough that every back-end path
+#: (probe hit/miss, walks, warm-up boundary reset) is exercised.
+MAX_REFS = 2500
+HARDWARE_SCALE = 16
+
+SINGLE_CORE_PRESETS = (
+    "radix",
+    "opt_l2tlb_64k",
+    "real_l2tlb_64k",
+    "opt_l3tlb_64k",
+    "pom_tlb",
+    "victima",
+    "victima_srrip",
+    "victima_no_predictor",
+    "victima_miss_only",
+    "victima_eviction_only",
+    "nested_paging",
+    "virt_pom_tlb",
+    "ideal_shadow",
+    "virt_victima",
+)
+
+MULTI_CORE_PRESETS = ("victima", "pom_tlb")
+
+
+def scenario_for(preset: str, num_cores: int = 1) -> dict:
+    spec = {
+        "name": f"parity-{preset}-{num_cores}c",
+        "system": preset,
+        "max_refs": MAX_REFS,
+        "seed": 42,
+        "hardware_scale": HARDWARE_SCALE,
+        "warmup_fraction": 0.25,
+        "workload": "rnd",
+    }
+    if num_cores > 1:
+        spec["num_cores"] = num_cores
+        spec["workload"] = {"kind": "mix", "tenants": [
+            {"workload": "bfs", "core": 0},
+            {"workload": "rnd", "core": 1},
+        ]}
+    return spec
+
+
+def run_all() -> dict:
+    golden = {}
+    for preset in SINGLE_CORE_PRESETS:
+        key = f"{preset}/1core"
+        print(f"  {key} ...", flush=True)
+        result = Simulator.from_scenario(scenario_for(preset)).run()
+        golden[key] = result.to_json_dict()
+    for preset in MULTI_CORE_PRESETS:
+        key = f"{preset}/2core"
+        print(f"  {key} ...", flush=True)
+        result = Simulator.from_scenario(scenario_for(preset, num_cores=2)).run()
+        golden[key] = result.to_json_dict()
+    return golden
+
+
+def main() -> int:
+    out = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "tests", "data", "backend_parity_golden.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    golden = run_all()
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    print(f"wrote {out} ({len(golden)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
