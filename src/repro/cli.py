@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None,
                             help="workload generator seed (default: 42)")
     run_parser.add_argument(
+        "--sample-stride", type=int, default=None, metavar="N",
+        help="SMARTS sampled simulation for --scenario runs: simulate one "
+             "detailed window out of every N after warm-up, fast-forwarding "
+             "the rest (1 = full detail; results gain error bars)")
+    run_parser.add_argument(
+        "--sample-warmup", type=int, default=None, metavar="REFS",
+        help="detailed-but-unmeasured references re-warming state at the "
+             "head of each detailed window (requires --sample-stride)")
+    run_parser.add_argument(
         "--cache-dir", default=None,
         help="directory for the shared on-disk run cache "
              "(default: $REPRO_CACHE_DIR, disabled when unset)")
@@ -270,6 +279,15 @@ def _run_scenarios(args: argparse.Namespace) -> int:
         overrides["seed"] = args.seed
     if args.hardware_scale is not None:
         overrides["hardware_scale"] = args.hardware_scale
+    if args.sample_stride is not None:
+        from repro.sim.sampling import SamplingConfig
+
+        overrides["sampling"] = SamplingConfig(
+            stride=args.sample_stride,
+            warmup_refs=(args.sample_warmup
+                         if args.sample_warmup is not None else 0))
+    elif args.sample_warmup is not None:
+        raise ConfigurationError("--sample-warmup requires --sample-stride")
     if overrides:
         specs = [replace(spec, **overrides) for spec in specs]
     for spec in specs:
@@ -291,6 +309,18 @@ def _run_scenarios(args: argparse.Namespace) -> int:
                     ["core", "workload", "refs", "cycles", "ipc",
                      "l2_tlb_mpki", "page_walks"],
                     core_rows, title=f"{spec.name} per-core"))
+            if result.sampling is not None:
+                meta = result.sampling
+                sample_rows = [
+                    ["stride", meta["stride"]],
+                    ["windows", meta["windows"]],
+                    ["coverage", round(meta["coverage"], 4)],
+                    ["cycles_per_ref", "{:.2f} ± {:.2f} (95% CI)".format(
+                        meta["cycles_per_ref_mean"],
+                        meta["cycles_per_ref_ci95"])],
+                ]
+                print(format_table(["sampling", "value"], sample_rows,
+                                   title=f"{spec.name} sampled estimate"))
             print(f"({elapsed:.1f}s, hash {spec.content_hash()[:12]})\n",
                   flush=True)
     return 0
@@ -315,6 +345,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with _scoped_environ(REPRO_CACHE_DIR=args.cache_dir,
                              REPRO_PROGRESS="1" if args.progress else None):
             return _run_scenarios(args)
+    if args.sample_stride is not None or args.sample_warmup is not None:
+        raise ConfigurationError(
+            "--sample-stride/--sample-warmup apply to --scenario runs only "
+            "(figure experiments always simulate in full detail)")
     selected = select_experiments(args.figures)
     # jobs stays a raw string/None here; resolve_jobs (via the engine)
     # understands both, so there is exactly one parser for N / 'auto'.

@@ -50,6 +50,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.toml_compat import load_toml
 from repro.sim.config import SystemConfig
 from repro.sim.presets import make_system_config
+from repro.sim.sampling import SamplingConfig
 from repro.traces import combinators, tracefile
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.registry import WORKLOAD_NAMES, make_workload
@@ -68,7 +69,7 @@ _CHILD_ALIASES = ("children", "tenants", "phases")
 _SCENARIO_KEYS = {
     "name", "description", "system", "system_overrides", "workload",
     "max_refs", "epoch_instructions", "seed", "warmup_fraction",
-    "hardware_scale", "label", "num_cores",
+    "hardware_scale", "label", "num_cores", "sampling",
 }
 
 
@@ -326,6 +327,13 @@ class ScenarioSpec:
     #: (``core = N`` per tenant, least-loaded placement for unpinned ones) and
     #: multi-core engine (:mod:`repro.sim.multicore`).
     num_cores: int = 1
+    #: Opt-in SMARTS-style sampled simulation (see :mod:`repro.sim.sampling`).
+    #: ``None`` (the default) simulates every reference; a
+    #: :class:`~repro.sim.sampling.SamplingConfig` details one window out of
+    #: every ``stride`` after warm-up and fast-forwards through the rest.
+    #: Physical: participates in :meth:`content_hash` when set (the default
+    #: leaves existing hashes untouched).
+    sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -392,6 +400,10 @@ class ScenarioSpec:
                 kwargs[key] = caster(data[key])
         if "workload" in data:
             kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
+        if data.get("sampling") is not None:
+            sampling = data["sampling"]
+            kwargs["sampling"] = (sampling if isinstance(sampling, SamplingConfig)
+                                  else SamplingConfig.from_dict(sampling))
         kwargs["system_overrides"] = _sorted_items(data.get("system_overrides"))
         return cls(**kwargs)
 
@@ -431,6 +443,8 @@ class ScenarioSpec:
             data["system_overrides"] = dict(self.system_overrides)
         if self.label is not None:
             data["label"] = self.label
+        if self.sampling is not None:
+            data["sampling"] = self.sampling.to_dict()
         return data
 
     # ------------------------------------------------------------------ #

@@ -32,6 +32,8 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro.cache.block import BlockKind
 from repro.cache.hierarchy import MemoryLevel
 from repro.common.errors import ConfigurationError
+from repro.sim.sampling import (SamplingConfig, sampling_metadata,
+                                window_series_summary)
 from repro.sim.simulator import CoreResult, SimulationResult
 from repro.sim.system import Core, MultiCoreSystem, build_system
 from repro.workloads.base import MemoryRef, Workload
@@ -56,6 +58,9 @@ class _CoreRun:
     data_l2_misses: int = 0
     level_counts: Dict[str, int] = field(default_factory=dict)
     exhausted: bool = False
+    # SMARTS sampling bookkeeping (populated only when sampling is enabled).
+    skipped_refs: int = 0
+    window_series: List[float] = field(default_factory=list)
 
     @property
     def core_id(self) -> int:
@@ -78,7 +83,8 @@ class MultiCoreSimulator:
                  epoch_instructions: int = 10_000,
                  warmup_fraction: float = 0.25,
                  name: Optional[str] = None,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 sampling: Optional[SamplingConfig] = None):
         if not isinstance(system, MultiCoreSystem):
             raise ConfigurationError(
                 "MultiCoreSimulator needs a MultiCoreSystem (num_cores > 1); "
@@ -103,6 +109,12 @@ class MultiCoreSimulator:
         #: either way (pinned by ``tests/test_hotpath.py``) — only the
         #: scheduler decides execution order, and it is unchanged.
         self.fast_path = fast_path
+        #: Opt-in SMARTS sampling (see :mod:`repro.sim.sampling`), applied
+        #: per core: each core samples its own post-warm-up windows, and a
+        #: skipped window advances the core's global-cycle clock by its
+        #: measured mean cycles-per-reference so the deterministic scheduler
+        #: keeps interleaving cores in (estimated) cycle order.
+        self.sampling = sampling
 
     @classmethod
     def from_scenario(cls, scenario) -> "MultiCoreSimulator":
@@ -129,7 +141,8 @@ class MultiCoreSimulator:
         return cls(system, core_workloads,
                    epoch_instructions=spec.epoch_instructions,
                    warmup_fraction=spec.warmup_fraction,
-                   name=root.name)
+                   name=root.name,
+                   sampling=getattr(spec, "sampling", None))
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -159,6 +172,10 @@ class MultiCoreSimulator:
     def run(self) -> SimulationResult:
         system = self.system
         base_cpi = system.config.base_cpi
+        if self.sampling is not None and not self.fast_path:
+            raise ConfigurationError(
+                "sampled simulation requires the fast path (fast_path=True); "
+                "the reference loop has no sampling mode")
         self.prefault()
 
         runs: List[_CoreRun] = []
@@ -173,9 +190,16 @@ class MultiCoreSimulator:
                 stream = chain.from_iterable(workload.bounded_batches())
             else:
                 stream = iter(workload.bounded())
-            runs.append(_CoreRun(core=core, workload=workload,
-                                 stream=stream,
-                                 warmup_refs=warmup, measuring=warmup == 0))
+            run = _CoreRun(core=core, workload=workload,
+                           stream=stream,
+                           warmup_refs=warmup, measuring=warmup == 0)
+            if self.sampling is not None:
+                # The sampler needs the run's live cycle/ref accumulators to
+                # time window boundaries and skips, so it is attached after
+                # the run object exists.
+                run.stream = self._core_sampler(run, workload.generate(),
+                                                self.sampling)
+            runs.append(run)
         # Cores that start measuring (warmup 0) count as already warm; the
         # shared-stat reset only fires when a *boundary crossing* completes
         # the set, so a run with no warm-up anywhere never resets anything.
@@ -266,7 +290,105 @@ class MultiCoreSimulator:
             reach_samples_4k.append(sum(
                 v.translation_reach_bytes(assume_4k=True) for v in victimas))
 
-        return self._collect(runs, reach_samples, reach_samples_4k)
+        result = self._collect(runs, reach_samples, reach_samples_4k)
+        if self.sampling is not None:
+            per_core_meta = []
+            combined: List[float] = []
+            for run in runs:
+                summary = window_series_summary(run.window_series)
+                per_core_meta.append({
+                    "core": run.core_id,
+                    "workload": run.workload.name,
+                    "windows": len(run.window_series),
+                    "detailed_refs": run.refs,
+                    "skipped_refs": run.skipped_refs,
+                    "cycles_per_ref_mean": summary["mean"],
+                    "cycles_per_ref_std": summary["std"],
+                    "cycles_per_ref_ci95": summary["ci95"],
+                })
+                combined.extend(run.window_series)
+            result.sampling = sampling_metadata(
+                self.sampling, combined,
+                detailed_refs=sum(run.refs for run in runs),
+                skipped_refs=sum(run.skipped_refs for run in runs),
+                per_core=per_core_meta)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def _core_sampler(self, run: _CoreRun, stream: Iterator[MemoryRef],
+                      sampling: SamplingConfig) -> Iterator[MemoryRef]:
+        """Yield one core's detailed references, skipping sampled-out windows.
+
+        The semantics mirror the single-core ``Simulator._run_sampled`` per
+        core: the core's global warm-up region is always detailed, then one
+        window in every ``stride`` is detailed (its first ``warmup_refs``
+        references re-warm state but stay out of the error-bar series) and
+        the rest are skipped through ``Workload.fast_forward``.
+
+        The generator's boundary code runs *between* references — inside the
+        scheduler's ``next()`` call, after the previous reference's cycles
+        have landed in ``run`` — so window cycle deltas and skip-time
+        estimates read consistent accumulators.  A skipped window advances
+        ``run.ready_at`` by the core's measured mean cycles-per-reference,
+        keeping the deterministic cycle-ordered interleave honest without
+        simulating the window.  With ``stride=1`` nothing is skipped and the
+        yielded stream (and therefore the schedule) is bit-identical to the
+        full run (pinned by ``tests/test_sampling.py``).
+        """
+        workload = run.workload
+        total = workload.config.max_refs
+        produced = 0
+        while produced < run.warmup_refs:
+            ref = next(stream, None)
+            if ref is None:
+                return
+            produced += 1
+            yield ref
+        stride = sampling.stride
+        window_refs = sampling.window_refs
+        window_warmup = sampling.warmup_refs
+        window = 0
+        while produced < total:
+            want = min(window_refs, total - produced)
+            if window % stride == 0:
+                head = min(window_warmup, want)
+                for _ in range(head):
+                    ref = next(stream, None)
+                    if ref is None:
+                        return
+                    produced += 1
+                    yield ref
+                body = want - head
+                if body:
+                    start_refs = run.refs
+                    # The warm-up reset fires when the scheduler executes
+                    # window 0's first measured reference; its baseline is 0.
+                    start_cycles = run.cycles if run.measuring else 0.0
+                    got = 0
+                    for _ in range(body):
+                        ref = next(stream, None)
+                        if ref is None:
+                            break
+                        produced += 1
+                        got += 1
+                        yield ref
+                    measured = run.refs - start_refs
+                    if measured:
+                        run.window_series.append(
+                            (run.cycles - start_cycles) / measured)
+                    if got < body:
+                        return
+            else:
+                got = workload.fast_forward(stream, want)
+                produced += got
+                run.skipped_refs += got
+                measured_refs = max(1, run.refs - run.warmup_refs)
+                run.ready_at += got * (run.cycles / measured_refs)
+                if got < want:
+                    return
+            window += 1
 
     # ------------------------------------------------------------------ #
     # Warm-up resets

@@ -1,0 +1,132 @@
+"""SMARTS-style sampled simulation configuration and error-bar summaries.
+
+SMARTS (Wunderlich et al., ISCA 2003) observes that detailed simulation of a
+small systematic sample of a program's execution — one short *detailed window*
+out of every N, fast-forwarding through the rest — estimates whole-run
+metrics with quantifiable error bars at a fraction of the cost.  This module
+holds the opt-in configuration (:class:`SamplingConfig`) threaded through
+:class:`~repro.scenario.ScenarioSpec`, ``Simulator`` and
+``MultiCoreSimulator``, plus the per-window statistics that become the
+``sampling`` block of a :class:`~repro.sim.simulator.SimulationResult`.
+
+Semantics (shared by the single- and multi-core loops):
+
+* The global warm-up region (``warmup_fraction`` of the run) is always
+  simulated in detail, so the sampled and full runs reset their measured
+  statistics at the same reference.
+* After warm-up the reference stream is divided into fixed-size windows of
+  ``window_refs`` references.  Window ``w`` is simulated in detail iff
+  ``w % stride == 0`` (window 0 always is); the others are skipped through
+  :meth:`~repro.workloads.base.Workload.fast_forward`, which advances the
+  workload's generator state exactly without materialising references.
+* Within each detailed window the first ``warmup_refs`` references re-warm
+  micro-architectural state after the skip: they are simulated in detail and
+  *included* in the run totals, but *excluded* from the per-window
+  cycles-per-ref series that feeds the error bars.
+* Reported totals are the raw measured values from the detailed references —
+  they are not scaled up — so ratio metrics (hit rates, CPI, cycle
+  breakdowns) remain unbiased estimates of the full run's.  The error bars
+  quantify how well the sampled windows represent the whole.
+
+``stride=1`` skips nothing and is pinned bit-identical to the full fast path
+by ``tests/test_sampling.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["SamplingConfig", "window_series_summary", "sampling_metadata"]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Opt-in SMARTS sampling parameters for the fast-path simulators.
+
+    ``stride``
+        Simulate one detailed window out of every ``stride`` post-warm-up
+        windows.  ``1`` simulates everything (bit-identical to a full run).
+    ``warmup_refs``
+        Detailed-but-unmeasured references at the head of each detailed
+        window, re-warming TLB/cache state after the preceding skip.  They
+        count toward run totals but not the error-bar series.
+    ``window_refs``
+        References per window; the default matches
+        ``Workload.BATCH_SIZE`` so a detailed window is one hot-path batch.
+    """
+
+    stride: int = 4
+    warmup_refs: int = 0
+    window_refs: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ConfigurationError("sampling stride must be >= 1")
+        if self.window_refs < 1:
+            raise ConfigurationError("sampling window_refs must be >= 1")
+        if not 0 <= self.warmup_refs < self.window_refs:
+            raise ConfigurationError(
+                "sampling warmup_refs must satisfy 0 <= warmup_refs < window_refs")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SamplingConfig":
+        unknown = set(data) - {"stride", "warmup_refs", "window_refs"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sampling keys: {sorted(unknown)!r} "
+                "(expected stride/warmup_refs/window_refs)")
+        kwargs = {key: int(data[key]) for key in
+                  ("stride", "warmup_refs", "window_refs") if key in data}
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"stride": self.stride, "warmup_refs": self.warmup_refs,
+                "window_refs": self.window_refs}
+
+
+def window_series_summary(window_cycles_per_ref: List[float]) -> Dict[str, object]:
+    """Mean / sample std-dev / 95 % confidence half-width of a window series.
+
+    The windows of a systematic sample are treated as independent draws (the
+    standard SMARTS approximation); with ``W`` windows the half-width is
+    ``1.96 * s / sqrt(W)``.  Fewer than two windows yields zero spread.
+    """
+    count = len(window_cycles_per_ref)
+    if count == 0:
+        return {"mean": 0.0, "std": 0.0, "ci95": 0.0}
+    mean = sum(window_cycles_per_ref) / count
+    if count < 2:
+        return {"mean": mean, "std": 0.0, "ci95": 0.0}
+    variance = sum((x - mean) ** 2 for x in window_cycles_per_ref) / (count - 1)
+    std = math.sqrt(variance)
+    return {"mean": mean, "std": std, "ci95": 1.96 * std / math.sqrt(count)}
+
+
+def sampling_metadata(config: SamplingConfig,
+                      window_cycles_per_ref: List[float],
+                      detailed_refs: int, skipped_refs: int,
+                      per_core: Optional[List[Dict[str, object]]] = None,
+                      ) -> Dict[str, object]:
+    """Build the JSON-friendly ``sampling`` block of a result."""
+    total = detailed_refs + skipped_refs
+    summary = window_series_summary(window_cycles_per_ref)
+    meta: Dict[str, object] = {
+        "stride": config.stride,
+        "window_refs": config.window_refs,
+        "window_warmup_refs": config.warmup_refs,
+        "windows": len(window_cycles_per_ref),
+        "detailed_refs": detailed_refs,
+        "skipped_refs": skipped_refs,
+        "coverage": detailed_refs / total if total else 0.0,
+        "cycles_per_ref_mean": summary["mean"],
+        "cycles_per_ref_std": summary["std"],
+        "cycles_per_ref_ci95": summary["ci95"],
+        "window_cycles_per_ref": list(window_cycles_per_ref),
+    }
+    if per_core is not None:
+        meta["per_core"] = per_core
+    return meta

@@ -17,6 +17,7 @@ of execution cycles to address translation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import reuse_buckets
@@ -24,9 +25,72 @@ from repro.cache.block import BlockKind
 from repro.cache.hierarchy import MemoryLevel
 from repro.common.errors import ConfigurationError
 from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.sampling import SamplingConfig, sampling_metadata
 from repro.sim.system import MultiCoreSystem, System, build_system
-from repro.workloads.base import Workload, WorkloadConfig
+from repro.workloads.base import MemoryRef, Workload, WorkloadConfig
 from repro.workloads.registry import make_workload
+
+
+class _LoopState:
+    """Mutable accumulator state shared by the fast-path loop variants.
+
+    One instance lives for a whole run; ``Simulator._process_batch`` (and the
+    SoA engine's bulk path) read and write it between batches.  ``refs``
+    counts *detailed* references only and is never reset at the warm-up
+    boundary — exactly like the historical local variable it replaces.
+    """
+
+    __slots__ = ("instructions", "cycles", "translation_cycles", "refs",
+                 "data_l2_misses", "level_counts", "reach_samples",
+                 "reach_samples_4k", "next_epoch", "measuring", "warmup_refs")
+
+    def __init__(self, warmup_refs: int, next_epoch: int, measuring: bool):
+        self.instructions = 0
+        self.cycles = 0.0
+        self.translation_cycles = 0.0
+        self.refs = 0
+        self.data_l2_misses = 0
+        self.level_counts: Dict[str, int] = {}
+        self.reach_samples: List[int] = []
+        self.reach_samples_4k: List[int] = []
+        self.next_epoch = next_epoch
+        self.measuring = measuring
+        self.warmup_refs = warmup_refs
+
+
+class _RunContext:
+    """Per-run constants and callees for the fast-path loop variants."""
+
+    __slots__ = ("simulator", "base_cpi", "epoch_instructions", "translate_data",
+                 "hierarchy_access", "record_instructions",
+                 "record_l2_cache_miss", "victima", "engine")
+
+    def __init__(self, simulator, base_cpi, epoch_instructions, translate_data,
+                 hierarchy_access, record_instructions, record_l2_cache_miss,
+                 victima, engine):
+        self.simulator = simulator
+        self.base_cpi = base_cpi
+        self.epoch_instructions = epoch_instructions
+        self.translate_data = translate_data
+        self.hierarchy_access = hierarchy_access
+        self.record_instructions = record_instructions
+        self.record_l2_cache_miss = record_l2_cache_miss
+        self.victima = victima
+        self.engine = engine
+
+    def reset_measured(self, state: "_LoopState") -> None:
+        """The warm-up boundary: zero measured stats, keep all warm state."""
+        self.simulator._reset_measured_stats()
+        state.instructions = 0
+        state.cycles = 0.0
+        state.translation_cycles = 0.0
+        state.data_l2_misses = 0
+        state.level_counts = {}
+        # Warm-up epochs must not leak into the measured reach series.
+        state.reach_samples = []
+        state.reach_samples_4k = []
+        state.next_epoch = self.epoch_instructions
+        state.measuring = True
 
 
 @dataclass(frozen=True)
@@ -108,6 +172,12 @@ class SimulationResult:
     num_cores: int = 1
     per_core: Optional[Tuple[CoreResult, ...]] = None
 
+    # SMARTS-sampled runs: stride/window parameters, coverage and the
+    # per-window cycles-per-ref error bars (see repro.sim.sampling).  Excluded
+    # from equality so a stride-1 sampled run compares bit-identical to the
+    # full fast path it reproduces (pinned by tests/test_sampling.py).
+    sampling: Optional[Dict[str, object]] = field(default=None, compare=False)
+
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #
@@ -152,11 +222,16 @@ class SimulationResult:
         Histogram keys become strings under ``json.dumps``; as long as both
         sides of a comparison round-trip through JSON the representation is
         canonical, which is what the backend parity pins
-        (``tests/test_backends.py``) rely on.
+        (``tests/test_backends.py``) rely on.  The ``sampling`` block is
+        omitted for non-sampled runs so their serialised form (and the
+        committed golden files pinned to it) is unchanged.
         """
         from dataclasses import asdict
 
-        return asdict(self)
+        data = asdict(self)
+        if data.get("sampling") is None:
+            data.pop("sampling", None)
+        return data
 
     def summary(self) -> Dict[str, object]:
         """A flat dictionary of headline metrics (used in reports and examples).
@@ -197,7 +272,8 @@ class Simulator:
 
     def __init__(self, system: System, workload: Workload,
                  epoch_instructions: int = 10_000, warmup_fraction: float = 0.25,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 sampling: Optional[SamplingConfig] = None):
         if isinstance(system, MultiCoreSystem):
             raise ConfigurationError(
                 "this Simulator is single-core; a MultiCoreSystem "
@@ -214,6 +290,9 @@ class Simulator:
         #: :class:`SimulationResult`\ s (pinned by ``tests/test_hotpath.py``);
         #: the reference loop exists exactly so that parity stays testable.
         self.fast_path = fast_path
+        #: Opt-in SMARTS sampling (see :mod:`repro.sim.sampling`); requires
+        #: the fast path.  ``None`` (the default) simulates every reference.
+        self.sampling = sampling
 
     @classmethod
     def from_configs(cls, system_config: SystemConfig, workload_config: WorkloadConfig,
@@ -258,7 +337,8 @@ class Simulator:
         system = build_system(spec.build_system_config(),
                               huge_page_fraction=workload.huge_page_fraction)
         return cls(system, workload, epoch_instructions=spec.epoch_instructions,
-                   warmup_fraction=spec.warmup_fraction)
+                   warmup_fraction=spec.warmup_fraction,
+                   sampling=getattr(spec, "sampling", None))
 
     @classmethod
     def from_simulation_config(cls, config: SimulationConfig,
@@ -314,45 +394,27 @@ class Simulator:
         """Simulate the workload and return the measured result.
 
         Dispatches to the batched fast-path loop (:meth:`_run_fast`, the
-        default) or the straight-line reference loop
-        (:meth:`_run_reference`); the two are bit-identical by construction
-        and by test.
+        default), its SMARTS-sampled variant (:meth:`_run_sampled`, when a
+        :class:`SamplingConfig` is set) or the straight-line reference loop
+        (:meth:`_run_reference`).  The fast and reference loops are
+        bit-identical by construction and by test, as are the sampled loop at
+        ``stride=1`` and the fast loop.
         """
+        if self.sampling is not None:
+            if not self.fast_path:
+                raise ConfigurationError(
+                    "sampled simulation requires the fast path "
+                    "(fast_path=True); the reference loop has no sampling mode")
+            return self._run_sampled()
         if self.fast_path:
             return self._run_fast()
         return self._run_reference()
 
-    def _run_fast(self) -> SimulationResult:
-        """Batched hot-path loop: chunked reference lists + ``translate_data``.
-
-        Mirrors :meth:`_run_reference` statement for statement (same float
-        accumulation order, same reset points) with three throughput changes:
-        references arrive as pre-built lists from
-        :meth:`~repro.workloads.base.Workload.bounded_batches`, translation
-        goes through the L1-hit fast path when the MMU provides one, and the
-        per-reference callees are bound to locals outside the loop.
-        """
+    def _setup_fast_run(self) -> Tuple["_RunContext", "_LoopState"]:
+        """Prefault, then build the shared context/state for a fast-path run."""
         system = self.system
         mmu = system.mmu
-        hierarchy = system.hierarchy
-        pressure = system.pressure
-        base_cpi = system.config.base_cpi
         self.prefault()
-
-        total_refs = self.workload.config.max_refs
-        warmup_refs = int(total_refs * self.warmup_fraction)
-
-        instructions = 0
-        cycles = 0.0
-        translation_cycles = 0.0
-        refs = 0
-        data_l2_misses = 0
-        level_counts: Dict[str, int] = {}
-        reach_samples: List[int] = []
-        reach_samples_4k: List[int] = []
-        epoch_instructions = self.epoch_instructions
-        next_epoch = epoch_instructions
-        measuring = warmup_refs == 0
 
         translate_data = getattr(mmu, "translate_data", None)
         if translate_data is None:
@@ -361,62 +423,219 @@ class Simulator:
                 result = _translate(vaddr, is_instruction=False)
                 return result.paddr, result.latency
 
-        hierarchy_access = hierarchy.access
-        record_instructions = pressure.record_instructions
-        record_l2_cache_miss = pressure.record_l2_cache_miss
-        victima = system.victima
+        engine = None
+        if getattr(mmu, "translate_data", None) is not None:
+            try:
+                from repro.sim.soa import try_build_engine
+            except ImportError:  # pragma: no cover - numpy is a dependency
+                engine = None
+            else:
+                engine = try_build_engine(system)
+
+        ctx = _RunContext(
+            simulator=self,
+            base_cpi=system.config.base_cpi,
+            epoch_instructions=self.epoch_instructions,
+            translate_data=translate_data,
+            hierarchy_access=system.hierarchy.access,
+            record_instructions=system.pressure.record_instructions,
+            record_l2_cache_miss=system.pressure.record_l2_cache_miss,
+            victima=system.victima,
+            engine=engine,
+        )
+        total_refs = self.workload.config.max_refs
+        warmup_refs = int(total_refs * self.warmup_fraction)
+        state = _LoopState(warmup_refs=warmup_refs,
+                           next_epoch=self.epoch_instructions,
+                           measuring=warmup_refs == 0)
+        return ctx, state
+
+    def _process_batch(self, ctx: "_RunContext", state: "_LoopState",
+                       batch: List[MemoryRef]) -> None:
+        """Simulate one list of references, updating ``state`` in place.
+
+        This is *the* per-reference hot loop: it mirrors
+        :meth:`_run_reference` statement for statement (same float
+        accumulation order, same reset point) with the callees bound to
+        locals, exactly as the pre-refactor ``_run_fast`` body did.  When the
+        vectorized SoA engine (:mod:`repro.sim.soa`) accepts the batch, it
+        applies the identical updates in bulk instead — its scalar fallback
+        replicates this body and parity is pinned by ``tests/test_hotpath.py``
+        across every native preset.
+        """
+        engine = ctx.engine
+        if engine is not None and engine.wants_batch():
+            engine.process_batch(ctx, state, batch)
+            return
+
+        instructions = state.instructions
+        cycles = state.cycles
+        translation_cycles = state.translation_cycles
+        refs = state.refs
+        data_l2_misses = state.data_l2_misses
+        level_counts = state.level_counts
+        reach_samples = state.reach_samples
+        reach_samples_4k = state.reach_samples_4k
+        next_epoch = state.next_epoch
+        measuring = state.measuring
+        warmup_refs = state.warmup_refs
+        epoch_instructions = ctx.epoch_instructions
+        base_cpi = ctx.base_cpi
+        translate_data = ctx.translate_data
+        hierarchy_access = ctx.hierarchy_access
+        record_instructions = ctx.record_instructions
+        record_l2_cache_miss = ctx.record_l2_cache_miss
+        victima = ctx.victima
         level_l3 = MemoryLevel.L3
         level_dram = MemoryLevel.DRAM
 
-        for batch in self.workload.bounded_batches():
-            for ref in batch:
-                if not measuring and refs >= warmup_refs:
-                    self._reset_measured_stats()
-                    instructions = 0
-                    cycles = 0.0
-                    translation_cycles = 0.0
-                    data_l2_misses = 0
-                    level_counts = {}
-                    reach_samples = []
-                    reach_samples_4k = []
-                    next_epoch = epoch_instructions
-                    measuring = True
+        for ref in batch:
+            if not measuring and refs >= warmup_refs:
+                ctx.reset_measured(state)
+                instructions = 0
+                cycles = 0.0
+                translation_cycles = 0.0
+                data_l2_misses = 0
+                level_counts = state.level_counts
+                reach_samples = state.reach_samples
+                reach_samples_4k = state.reach_samples_4k
+                next_epoch = state.next_epoch
+                measuring = True
 
-                gap = ref.instruction_gap
-                instructions += gap + 1
-                record_instructions(gap + 1)
-                cycles += gap * base_cpi
+            gap = ref.instruction_gap
+            instructions += gap + 1
+            record_instructions(gap + 1)
+            cycles += gap * base_cpi
 
-                paddr, translation_latency = translate_data(ref.vaddr)
-                cycles += translation_latency
-                translation_cycles += translation_latency
+            paddr, translation_latency = translate_data(ref.vaddr)
+            cycles += translation_latency
+            translation_cycles += translation_latency
 
-                access = hierarchy_access(paddr, write=ref.is_write, ip=ref.ip)
-                cycles += access.latency
-                refs += 1
-                level = access.level
-                value = level.value
-                level_counts[value] = level_counts.get(value, 0) + 1
-                if level is level_l3 or level is level_dram:
-                    data_l2_misses += 1
-                    record_l2_cache_miss()
+            access = hierarchy_access(paddr, write=ref.is_write, ip=ref.ip)
+            cycles += access.latency
+            refs += 1
+            level = access.level
+            value = level.value
+            level_counts[value] = level_counts.get(value, 0) + 1
+            if level is level_l3 or level is level_dram:
+                data_l2_misses += 1
+                record_l2_cache_miss()
 
-                if instructions >= next_epoch:
-                    next_epoch += epoch_instructions
-                    if victima is not None:
-                        reach_samples.append(victima.translation_reach_bytes())
-                        reach_samples_4k.append(
-                            victima.translation_reach_bytes(assume_4k=True))
+            if instructions >= next_epoch:
+                next_epoch += epoch_instructions
+                if victima is not None:
+                    reach_samples.append(victima.translation_reach_bytes())
+                    reach_samples_4k.append(
+                        victima.translation_reach_bytes(assume_4k=True))
 
+        state.instructions = instructions
+        state.cycles = cycles
+        state.translation_cycles = translation_cycles
+        state.refs = refs
+        state.data_l2_misses = data_l2_misses
+        state.next_epoch = next_epoch
+        state.measuring = measuring
+
+    def _finish_fast_run(self, ctx: "_RunContext",
+                         state: "_LoopState") -> SimulationResult:
         # Always take a final sample so short runs still report reach.
-        if victima is not None:
-            reach_samples.append(victima.translation_reach_bytes())
-            reach_samples_4k.append(victima.translation_reach_bytes(assume_4k=True))
+        if ctx.victima is not None:
+            state.reach_samples.append(ctx.victima.translation_reach_bytes())
+            state.reach_samples_4k.append(
+                ctx.victima.translation_reach_bytes(assume_4k=True))
+        warmup_refs = state.warmup_refs
+        measured_refs = state.refs - warmup_refs if warmup_refs else state.refs
+        return self._collect(state.instructions, state.cycles,
+                             state.translation_cycles, measured_refs,
+                             state.data_l2_misses, state.level_counts,
+                             state.reach_samples, state.reach_samples_4k)
 
-        measured_refs = refs - warmup_refs if warmup_refs else refs
-        return self._collect(instructions, cycles, translation_cycles, measured_refs,
-                             data_l2_misses, level_counts, reach_samples,
-                             reach_samples_4k)
+    def _run_fast(self) -> SimulationResult:
+        """Batched hot-path loop: chunked reference lists + ``translate_data``.
+
+        References arrive as pre-built lists from
+        :meth:`~repro.workloads.base.Workload.bounded_batches`; each batch
+        goes through :meth:`_process_batch` (scalar loop or the vectorized
+        SoA engine).  Bit-identical to :meth:`_run_reference` by test.
+        """
+        ctx, state = self._setup_fast_run()
+        process_batch = self._process_batch
+        for batch in self.workload.bounded_batches():
+            process_batch(ctx, state, batch)
+        return self._finish_fast_run(ctx, state)
+
+    def _run_sampled(self) -> SimulationResult:
+        """SMARTS-sampled fast-path loop (see :mod:`repro.sim.sampling`).
+
+        The global warm-up region is fully detailed and cut at the boundary
+        so the measured-stats reset fires at the first reference of window 0;
+        after it, one window in every ``stride`` is simulated in detail
+        (optionally re-warmed by ``warmup_refs`` unmeasured references) and
+        the rest are skipped through ``Workload.fast_forward``.  With
+        ``stride=1`` nothing is ever skipped and the run is bit-identical to
+        :meth:`_run_fast` (pinned by ``tests/test_sampling.py``).
+        """
+        sampling = self.sampling
+        ctx, state = self._setup_fast_run()
+        workload = self.workload
+        stream = workload.generate()
+        total_refs = workload.config.max_refs
+        warmup_refs = state.warmup_refs
+        batch_size = Workload.BATCH_SIZE
+
+        produced = 0
+        dry = False
+        while produced < warmup_refs and not dry:
+            want = min(batch_size, warmup_refs - produced)
+            batch = list(islice(stream, want))
+            produced += len(batch)
+            if batch:
+                self._process_batch(ctx, state, batch)
+            dry = len(batch) < want
+
+        window_series: List[float] = []
+        skipped_refs = 0
+        stride = sampling.stride
+        window_refs = sampling.window_refs
+        window_warmup = sampling.warmup_refs
+        window = 0
+        while not dry and produced < total_refs:
+            want = min(window_refs, total_refs - produced)
+            if window % stride == 0:
+                head = min(window_warmup, want)
+                if head:
+                    batch = list(islice(stream, head))
+                    produced += len(batch)
+                    if batch:
+                        self._process_batch(ctx, state, batch)
+                    dry = len(batch) < head
+                body = want - head
+                if body and not dry:
+                    batch = list(islice(stream, body))
+                    produced += len(batch)
+                    if batch:
+                        start_refs = state.refs
+                        # The warm-up reset fires inside window 0's first
+                        # measured reference; its cycle baseline is 0.
+                        start_cycles = state.cycles if state.measuring else 0.0
+                        self._process_batch(ctx, state, batch)
+                        measured = state.refs - start_refs
+                        if measured:
+                            window_series.append(
+                                (state.cycles - start_cycles) / measured)
+                    dry = len(batch) < body
+            else:
+                got = workload.fast_forward(stream, want)
+                produced += got
+                skipped_refs += got
+                dry = got < want
+            window += 1
+
+        result = self._finish_fast_run(ctx, state)
+        result.sampling = sampling_metadata(sampling, window_series,
+                                            detailed_refs=state.refs,
+                                            skipped_refs=skipped_refs)
+        return result
 
     def _run_reference(self) -> SimulationResult:
         """The straight-line per-reference loop (the pre-fast-path engine)."""

@@ -1,0 +1,716 @@
+"""Vectorized structure-of-arrays fast path for the single-core simulator.
+
+This module implements ROADMAP open item 2: mirror the L1 D-TLB and L1-D
+cache lookup state as numpy int64 structure-of-arrays, classify an entire
+``Workload.bounded_batches`` batch as hit/miss in one vectorized pass, apply
+the hits' statistic and LRU updates in bulk, and funnel only the remaining
+references into the existing per-reference path.
+
+Exactness contract
+==================
+
+The engine produces *bit-identical* results to the scalar loop
+(``Simulator._process_batch``), pinned by ``tests/test_hotpath.py`` across
+every native preset.  The key observations that make bulk application exact:
+
+* A reference that hits both the L1 D-TLB and the L1-D cache touches only:
+  the two L1 D-TLB stat blocks and access counters, the page-table PTE's
+  access feature counter, the MMU hit-path stats, the L1-D stats and the hit
+  block's replacement state, the pressure monitors' instruction windows, the
+  prefetcher tables, and the loop accumulators.  Every one of those updates
+  is either a per-reference constant (latencies), a commutative integer sum,
+  or an order-dependent quantity (LRU ``last_touch``, rate-window rollovers,
+  epoch crossings) that can be reconstructed exactly from the position of
+  each reference in the run — which is what :meth:`VectorEngine._bulk_apply`
+  does.  Cycle accumulation uses ``np.add.accumulate`` over the interleaved
+  per-reference latency terms, which performs the same left-to-right float64
+  additions as the scalar loop.
+* ``memory_manager.ensure_mapped`` is pure for already-mapped pages (a TLB
+  hit implies the page is mapped) apart from populating a lookup memo, so it
+  can be skipped *provided* the TLB entry's PTE is the page table's current
+  leaf — the mirror verifies that object identity when it syncs a set and
+  classifies the slot as ineligible otherwise.
+* Prefetcher ``observe`` calls mutate only prefetcher-internal state, so the
+  engine calls the real ``observe`` for each reference of a run *in order*
+  (that IS the exact side effect) and truncates the bulk run at the first
+  reference whose prefetch candidates would actually fill something.
+
+Coherence contract
+==================
+
+Mirrors are registered with the owning structures (``TLB._mirror`` /
+``Cache._mirror``) and are notified through ``note_set_dirty`` /
+``note_all_dirty`` whenever a set's *residency* changes (insert, evict,
+invalidate).  Pure LRU touches don't change residency and are not signalled.
+Dirty sets are lazily re-synced from the object model before they are read;
+a monotonically increasing per-set version lets in-flight batch
+classifications detect that a set changed under them (e.g. a scalar miss
+filled the TLB mid-batch) and re-probe just the affected rows.  The engine
+itself registers with the system's :class:`~repro.common.stats.StatsRegistry`
+so a warm-up boundary re-syncs every mirror through the same one-list walk
+that resets every other stat block (satellite test:
+``tests/test_soa.py::test_warmup_boundary_cannot_desync``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.block import BlockKind, data_key
+from repro.cache.hierarchy import MemoryLevel
+from repro.cache.replacement import LRUPolicy
+from repro.common.addresses import BLOCK_OFFSET_BITS
+
+#: Previous-batch hit fractions required for the engine to accept the next
+#: batch (see ``wants_batch``).
+_TLB_HIT_GATE = 0.70
+_L1_HIT_GATE = 0.70
+_MIN_GATE_REFS = 64
+
+#: Eligible runs shorter than this go through the scalar path anyway: the
+#: fixed numpy cost of a bulk application (argsorts, uniques, accumulates)
+#: only amortises over longer runs.  Exactness is unaffected — both paths
+#: produce identical state.
+_MIN_BULK_RUN = 24
+
+#: After this many consecutive scalar references, if any mirror mutated, the
+#: remaining batch rows are re-probed: fills performed *during* the batch
+#: (demand misses, prefetches keeping ahead of a streaming walk) make rows
+#: eligible that the batch-start classification could not see.
+_REPROBE_SCALAR_REFS = 16
+
+_MISSING = object()
+
+
+class TLBMirror:
+    """Int64 SoA mirror of one single-page-size TLB's sets.
+
+    ``valid``/``vpn``/``asid`` drive vectorized hit classification;
+    ``paddr_base`` is the entry PTE's frame base (``pfn << offset_bits``) so
+    a hit's physical address is one OR away; ``entries`` holds the parallel
+    ``TLBEntry`` object references for bulk LRU/feature updates.  A slot is
+    only marked valid if the entry's PTE *is* the page table's current leaf
+    for that page (see module docstring).
+    """
+
+    def __init__(self, tlb, memory_manager):
+        if len(tlb.page_sizes) != 1:
+            raise ValueError("TLBMirror requires a single-page-size TLB")
+        self.tlb = tlb
+        self.memory_manager = memory_manager
+        page_size = tlb.page_sizes[0]
+        self.shift = page_size.offset_bits
+        self.offset_mask = int(page_size) - 1
+        self.label = tlb._probe_plan[0][2]
+        self.num_sets = tlb.num_sets
+        self.assoc = tlb.associativity
+        shape = (self.num_sets, self.assoc)
+        self.valid = np.zeros(shape, dtype=bool)
+        self.vpn = np.full(shape, -1, dtype=np.int64)
+        self.asid = np.full(shape, -1, dtype=np.int64)
+        self.paddr_base = np.zeros(shape, dtype=np.int64)
+        self.entries: List[List[object]] = [[None] * self.assoc
+                                            for _ in range(self.num_sets)]
+        self.set_version = np.zeros(self.num_sets, dtype=np.int64)
+        self.mutations = 0
+        self._dirty = set()
+        self._all_dirty = True
+        tlb._mirror = self
+
+    # -- notifications from the object model --------------------------- #
+    def note_set_dirty(self, set_index: int) -> None:
+        self._dirty.add(set_index)
+        self.set_version[set_index] += 1
+        self.mutations += 1
+
+    def note_all_dirty(self) -> None:
+        self._all_dirty = True
+        self.set_version += 1
+        self.mutations += 1
+
+    # -- synchronisation ------------------------------------------------ #
+    def sync(self) -> None:
+        if self._all_dirty:
+            for set_index in range(self.num_sets):
+                self._sync_set(set_index)
+            self._all_dirty = False
+            self._dirty.clear()
+        elif self._dirty:
+            for set_index in self._dirty:
+                self._sync_set(set_index)
+            self._dirty.clear()
+
+    def _sync_set(self, set_index: int) -> None:
+        slots = self.entries[set_index]
+        lookup = self.memory_manager.page_table.lookup
+        shift = self.shift
+        tlb_set = self.tlb._sets[set_index]
+        for way in range(self.assoc):
+            if way < len(tlb_set):
+                entry = tlb_set[way]
+                pte = entry.pte
+                # Bulk application skips ensure_mapped + pte lookup, which is
+                # only exact when this entry's PTE is the page table's
+                # current leaf; a stale slot stays classified as a miss and
+                # falls back to the scalar path.
+                if lookup(entry.vpn << shift) is pte:
+                    self.valid[set_index, way] = True
+                    self.vpn[set_index, way] = entry.vpn
+                    self.asid[set_index, way] = entry.asid
+                    self.paddr_base[set_index, way] = pte.pfn << shift
+                    slots[way] = entry
+                    continue
+            self.valid[set_index, way] = False
+            self.vpn[set_index, way] = -1
+            self.asid[set_index, way] = -1
+            slots[way] = None
+
+
+class CacheMirror:
+    """Int64 SoA mirror of a cache's *data-block* residency.
+
+    Non-data (Victima TLB) blocks are never recorded, so a vectorized match
+    can only hit blocks the scalar ``data_key`` probe would have hit; the L1
+    D-cache holds data blocks only in practice, but the mirror does not rely
+    on that.
+    """
+
+    def __init__(self, cache):
+        self.cache = cache
+        self.num_sets = cache.num_sets
+        self.assoc = cache.associativity
+        self.block_number = np.full((self.num_sets, self.assoc), -1, dtype=np.int64)
+        self.blocks: List[List[object]] = [[None] * self.assoc
+                                           for _ in range(self.num_sets)]
+        self.set_version = np.zeros(self.num_sets, dtype=np.int64)
+        self.mutations = 0
+        self._dirty = set()
+        self._all_dirty = True
+        cache._mirror = self
+
+    def note_set_dirty(self, set_index: int) -> None:
+        self._dirty.add(set_index)
+        self.set_version[set_index] += 1
+        self.mutations += 1
+
+    def note_all_dirty(self) -> None:
+        self._all_dirty = True
+        self.set_version += 1
+        self.mutations += 1
+
+    def sync(self) -> None:
+        if self._all_dirty:
+            for set_index in range(self.num_sets):
+                self._sync_set(set_index)
+            self._all_dirty = False
+            self._dirty.clear()
+        elif self._dirty:
+            for set_index in self._dirty:
+                self._sync_set(set_index)
+            self._dirty.clear()
+
+    def _sync_set(self, set_index: int) -> None:
+        slots = self.blocks[set_index]
+        ways = self.cache._sets[set_index].ways
+        for way in range(self.assoc):
+            block = ways[way]
+            if block is not None and block.kind is BlockKind.DATA:
+                self.block_number[set_index, way] = block.key[0]
+                slots[way] = block
+            else:
+                self.block_number[set_index, way] = -1
+                slots[way] = None
+
+
+class VectorEngine:
+    """Batch classifier + bulk applier over the TLB/cache mirrors."""
+
+    def __init__(self, system):
+        mmu = system.mmu
+        hierarchy = system.hierarchy
+        self.system = system
+        self.mmu = mmu
+        self.hierarchy = hierarchy
+        self.pressure = system.pressure
+        self.l1d = hierarchy.l1d
+        self.tlb4 = mmu.l1_dtlb_4k
+        self.tlb2 = mmu.l1_dtlb_2m
+        self.mirror4 = TLBMirror(self.tlb4, mmu.memory_manager)
+        self.mirror2 = TLBMirror(self.tlb2, mmu.memory_manager)
+        self.mirror_l1d = CacheMirror(self.l1d)
+        self.translation_latency = self.tlb4.latency
+        self.l1d_latency = self.l1d.latency
+        self._use_vector = False
+        self._prev_translations = 0
+        self._prev_l1_tlb_hits = 0
+        self._prev_l1d_accesses = 0
+        self._prev_l1d_hits = 0
+
+    # -- StatsRegistry integration -------------------------------------- #
+    def reset_stats(self) -> None:
+        """Warm-up boundary: force a full re-sync of every mirror.
+
+        The boundary resets stat blocks but keeps all functional state; the
+        mirrors hold functional state only, so a full lazy re-sync (rather
+        than a zeroing) keeps them coherent regardless of where in the
+        registry walk the engine sits.  Bumping every set version also
+        invalidates any in-flight batch classification.
+        """
+        self.mirror4.note_all_dirty()
+        self.mirror2.note_all_dirty()
+        self.mirror_l1d.note_all_dirty()
+
+    # -- batch gate ------------------------------------------------------ #
+    def wants_batch(self) -> bool:
+        """Accept the next batch iff the previous one was hit-dominated.
+
+        Purely a performance heuristic (both paths are exact): vectorizing a
+        miss-dominated batch costs classification for nothing.  Decided from
+        the stats deltas since the last call, so scalar batches feed the gate
+        too; a warm-up reset makes the deltas unusable for one batch, which
+        conservatively picks the scalar path.
+        """
+        mmu_stats = self.mmu.stats
+        l1_stats = self.l1d.stats
+        translations = mmu_stats.translations
+        tlb_hits = mmu_stats.l1_tlb_hits
+        accesses = l1_stats.accesses
+        hits = l1_stats.hits
+        d_translations = translations - self._prev_translations
+        d_tlb_hits = tlb_hits - self._prev_l1_tlb_hits
+        d_accesses = accesses - self._prev_l1d_accesses
+        d_hits = hits - self._prev_l1d_hits
+        self._prev_translations = translations
+        self._prev_l1_tlb_hits = tlb_hits
+        self._prev_l1d_accesses = accesses
+        self._prev_l1d_hits = hits
+        if d_translations >= _MIN_GATE_REFS and d_accesses > 0:
+            self._use_vector = (
+                d_tlb_hits >= _TLB_HIT_GATE * d_translations
+                and d_hits >= _L1_HIT_GATE * d_accesses)
+        elif d_translations < 0 or d_accesses < 0:
+            self._use_vector = False  # stats were reset under us
+        return self._use_vector
+
+    # -- classification -------------------------------------------------- #
+    def _sync_all(self) -> None:
+        self.mirror4.sync()
+        self.mirror2.sync()
+        self.mirror_l1d.sync()
+
+    def _probe(self, vaddr):
+        """Classify ``vaddr`` rows against the (synced) mirrors.
+
+        Returns ``(eligible, hit4, paddr, set4, way4, set2, way2, setc,
+        wayc, ver4, ver2, verc)``; the entries of ``paddr``/way arrays are
+        meaningful only where the corresponding hit flag is set.
+        """
+        m4, m2, mc = self.mirror4, self.mirror2, self.mirror_l1d
+        asid = self.mmu.asid  # read per probe: context switches change it
+
+        vpn4 = vaddr >> m4.shift
+        set4 = vpn4 & (m4.num_sets - 1)
+        cand = m4.vpn[set4]
+        match4 = (cand == vpn4[:, None]) & m4.valid[set4] & (m4.asid[set4] == asid)
+        hit4 = match4.any(axis=1)
+        way4 = match4.argmax(axis=1)
+
+        vpn2 = vaddr >> m2.shift
+        set2 = vpn2 & (m2.num_sets - 1)
+        cand2 = m2.vpn[set2]
+        match2 = (cand2 == vpn2[:, None]) & m2.valid[set2] & (m2.asid[set2] == asid)
+        hit2 = match2.any(axis=1) & ~hit4
+        way2 = match2.argmax(axis=1)
+
+        paddr = np.where(
+            hit4, m4.paddr_base[set4, way4] | (vaddr & m4.offset_mask),
+            np.where(hit2, m2.paddr_base[set2, way2] | (vaddr & m2.offset_mask), -1))
+
+        block_number = paddr >> BLOCK_OFFSET_BITS
+        setc = block_number & (mc.num_sets - 1)
+        matchc = mc.block_number[setc] == block_number[:, None]
+        hitc = matchc.any(axis=1)
+        wayc = matchc.argmax(axis=1)
+
+        eligible = (hit4 | hit2) & hitc
+        return (eligible, hit4, paddr, set4, way4, set2, way2, setc, wayc,
+                m4.set_version[set4], m2.set_version[set2], mc.set_version[setc])
+
+    def _mutation_count(self) -> int:
+        return (self.mirror4.mutations + self.mirror2.mutations
+                + self.mirror_l1d.mutations)
+
+    # -- the per-batch driver -------------------------------------------- #
+    def process_batch(self, ctx, state, batch) -> None:
+        """Simulate one batch, bit-identically to the scalar loop."""
+        n = len(batch)
+        vaddr = np.fromiter((ref.vaddr for ref in batch), np.int64, n)
+        gaps = np.fromiter((ref.instruction_gap for ref in batch), np.int64, n)
+        writes = np.fromiter((ref.is_write for ref in batch), np.bool_, n)
+
+        self._sync_all()
+        arrays = self._probe(vaddr)
+        (eligible, hit4, paddr, set4, way4, set2, way2, setc, wayc,
+         ver4, ver2, verc) = arrays
+        probe_muts = self._mutation_count()
+        m4, m2, mc = self.mirror4, self.mirror2, self.mirror_l1d
+
+        observe = self.hierarchy.observe_prefetchers
+        apply_fills = self.hierarchy.apply_prefetch_fills
+        l1d_contains = self.l1d.contains
+        l2_contains = self.hierarchy.l2.contains
+        scalar_ref = self._scalar_ref
+
+        def reprobe(lo: int, hi: int) -> None:
+            """Freshen classification for rows [lo, hi) from live state."""
+            self._sync_all()
+            fresh = self._probe(vaddr[lo:hi])
+            for stale_array, fresh_array in zip(arrays, fresh):
+                stale_array[lo:hi] = fresh_array
+
+        i = 0
+        scalar_streak = 0
+        while i < n:
+            if not state.measuring and state.refs >= state.warmup_refs:
+                ctx.reset_measured(state)
+            if not eligible[i]:
+                # Fills performed during this batch (demand misses, a
+                # prefetcher keeping ahead of a streaming walk) make later
+                # rows eligible; opportunistically re-probe the remainder.
+                scalar_streak += 1
+                if (scalar_streak >= _REPROBE_SCALAR_REFS
+                        and self._mutation_count() != probe_muts):
+                    reprobe(i, n)
+                    probe_muts = self._mutation_count()
+                    scalar_streak = 0
+                    if eligible[i]:
+                        continue
+                scalar_ref(ctx, state, batch[i])
+                i += 1
+                continue
+            scalar_streak = 0
+
+            # Leading eligible run [i, j).
+            rest = eligible[i:]
+            first_miss = rest.argmin()
+            j = i + (int(first_miss) if not rest[first_miss] else n - i)
+            if not state.measuring:
+                # Never let a run cross the warm-up boundary: the reset must
+                # fire exactly at the reference where refs == warmup_refs.
+                j = min(j, i + (state.warmup_refs - state.refs))
+
+            # Re-validate rows whose sets changed since classification
+            # (scalar misses and prefetch fills mutate TLB/cache sets).
+            if self._mutation_count() != probe_muts:
+                stale = (m4.set_version[set4[i:j]] != ver4[i:j])
+                not4 = ~hit4[i:j]
+                if not4.any():
+                    stale |= not4 & (m2.set_version[set2[i:j]] != ver2[i:j])
+                stale |= mc.set_version[setc[i:j]] != verc[i:j]
+                if stale.any():
+                    reprobe(i, j)
+                    if not eligible[i]:
+                        continue
+                    rest = eligible[i:j]
+                    first_miss = rest.argmin()
+                    if not rest[first_miss]:
+                        j = i + int(first_miss)
+
+            if j - i < _MIN_BULK_RUN:
+                # Too short to amortise the bulk path's fixed numpy cost;
+                # the scalar path is exact for eligible references too.
+                # j never crosses the warm-up boundary (capped above).
+                for k in range(i, j):
+                    scalar_ref(ctx, state, batch[k])
+                i = j
+                continue
+
+            # Scan prefetcher training in run order; truncate the bulk run
+            # after the first reference whose candidates would fill anything
+            # (its own lookup effects are still bulk-applied; the fills land
+            # right after, as in the scalar order).
+            paddr_list = paddr[i:j].tolist()
+            pending = None
+            end = j
+            for offset, ref_paddr in enumerate(paddr_list):
+                l1_targets, l2_targets = observe(batch[i + offset].ip, ref_paddr)
+                if l1_targets or l2_targets:
+                    fills_needed = (
+                        any(not l1d_contains(data_key(t)) for t in l1_targets)
+                        or any(not l2_contains(data_key(t)) for t in l2_targets))
+                    if fills_needed:
+                        pending = (l1_targets, l2_targets)
+                        end = i + offset + 1
+                        break
+
+            self._bulk_apply(ctx, state, i, end, gaps, writes, hit4,
+                             set4, way4, set2, way2, setc, wayc)
+            if pending is not None:
+                apply_fills(*pending)
+            i = end
+
+    # -- bulk application ------------------------------------------------ #
+    def _bulk_apply(self, ctx, state, start, end, gaps, writes, hit4,
+                    set4, way4, set2, way2, setc, wayc) -> None:
+        count = end - start
+        m4, m2, mc = self.mirror4, self.mirror2, self.mirror_l1d
+        translation_latency = self.translation_latency
+        access_latency = self.l1d_latency
+
+        run_gaps = gaps[start:end]
+        instruction_counts = run_gaps + 1
+        cumulative = np.cumsum(instruction_counts)
+        base_instructions = state.instructions
+        total_instructions = int(cumulative[-1])
+
+        # -- pressure monitors: exact window-rollover replication -------- #
+        self._bulk_record_instructions(cumulative, total_instructions)
+
+        # -- cycles: same left-to-right float64 additions as the scalar --- #
+        terms = np.empty(3 * count + 1, dtype=np.float64)
+        terms[0] = state.cycles
+        terms[1::3] = run_gaps * ctx.base_cpi
+        terms[2::3] = translation_latency
+        terms[3::3] = access_latency
+        state.cycles = float(np.add.accumulate(terms)[-1])
+        state.instructions = base_instructions + total_instructions
+        # Per-ref float += int adds an exactly representable integer, so the
+        # grouped sum is identical.
+        state.translation_cycles += translation_latency * count
+
+        # -- L1 D-TLB probes --------------------------------------------- #
+        run_hit4 = hit4[start:end]
+        hits4 = int(run_hit4.sum())
+        hits2 = count - hits4
+        stats4 = self.tlb4.stats
+        stats2 = self.tlb2.stats
+        base_counter4 = self.tlb4._access_counter
+        # Every reference probes the 4K TLB first.
+        stats4.accesses += count
+        self.tlb4._access_counter = base_counter4 + count
+        stats4.hits += hits4
+        stats4.misses += hits2
+        if hits4:
+            by_size = stats4.hits_by_page_size
+            by_size[m4.label] = by_size.get(m4.label, 0) + hits4
+        if hits2:
+            base_counter2 = self.tlb2._access_counter
+            stats2.accesses += hits2
+            self.tlb2._access_counter = base_counter2 + hits2
+            stats2.hits += hits2
+            by_size = stats2.hits_by_page_size
+            by_size[m2.label] = by_size.get(m2.label, 0) + hits2
+
+        # Per-slot LRU (last write wins; counters only ever increase) and
+        # PTE access-feature increments (commutative saturating adds).
+        idx4 = np.nonzero(run_hit4)[0]
+        if idx4.size:
+            touch4 = base_counter4 + idx4 + 1  # 4K counter advances per ref
+            self._apply_tlb_slots(m4, set4[start:end][idx4],
+                                  way4[start:end][idx4], touch4)
+        if hits2:
+            idx2 = np.nonzero(~run_hit4)[0]
+            touch2 = base_counter2 + np.arange(1, hits2 + 1)
+            self._apply_tlb_slots(m2, set2[start:end][idx2],
+                                  way2[start:end][idx2], touch2)
+
+        # -- MMU hit-path stats ------------------------------------------ #
+        mmu_stats = self.mmu.stats
+        mmu_stats.translations += count
+        mmu_stats.total_translation_latency += translation_latency * count
+        served = mmu_stats.served_by
+        served["l1_tlb"] = served.get("l1_tlb", 0) + count
+        mmu_stats.l1_tlb_hits += count
+
+        # -- L1-D cache hits --------------------------------------------- #
+        l1_stats = self.l1d.stats
+        l1_stats.accesses += count
+        l1_stats.hits += count
+        self._apply_cache_slots(mc, setc[start:end], wayc[start:end],
+                                writes[start:end])
+
+        state.refs += count
+        counts = state.level_counts
+        value = MemoryLevel.L1.value
+        counts[value] = counts.get(value, 0) + count
+
+        # -- epoch crossings (checked after each ref in the scalar loop) -- #
+        epoch = ctx.epoch_instructions
+        if base_instructions + total_instructions >= state.next_epoch:
+            cumulative_instructions = base_instructions + cumulative
+            floor = 0
+            while True:
+                index = int(np.searchsorted(cumulative_instructions,
+                                            state.next_epoch, side="left"))
+                if index < floor:
+                    index = floor
+                if index >= count:
+                    break
+                state.next_epoch += epoch
+                if ctx.victima is not None:
+                    state.reach_samples.append(
+                        ctx.victima.translation_reach_bytes())
+                    state.reach_samples_4k.append(
+                        ctx.victima.translation_reach_bytes(assume_4k=True))
+                floor = index + 1
+
+    def _bulk_record_instructions(self, cumulative, total) -> None:
+        """Replicate ``EventRateMonitor.record_instructions`` per reference.
+
+        Both monitors are fed identical instruction streams and reset
+        together, so their windows are always equal; crossings are computed
+        once.  At each crossing the monitor snapshots its rate from whatever
+        events accumulated and zeroes the window — after the first crossing
+        of an event-free run every later crossing yields a 0.0 rate.
+        """
+        tlb_monitor = self.pressure._l2_tlb
+        cache_monitor = self.pressure._l2_cache
+        window = tlb_monitor.window_instructions
+        count = len(cumulative)
+        offset = tlb_monitor._instr_window
+        base = 0
+        index = 0
+        while True:
+            target = window - offset + base
+            index = int(np.searchsorted(cumulative[index:], target,
+                                        side="left")) + index
+            if index >= count:
+                break
+            crossed = offset + int(cumulative[index]) - base
+            denominator = max(crossed, 1)
+            tlb_monitor._last_rate = (1000.0 * tlb_monitor._events_window
+                                      / denominator)
+            tlb_monitor._events_window = 0
+            cache_monitor._last_rate = (1000.0 * cache_monitor._events_window
+                                        / denominator)
+            cache_monitor._events_window = 0
+            offset = 0
+            base = int(cumulative[index])
+            index += 1
+        final_window = offset + int(cumulative[-1]) - base
+        tlb_monitor._instr_window = final_window
+        cache_monitor._instr_window = final_window
+        tlb_monitor._instr_total += total
+        cache_monitor._instr_total += total
+
+    @staticmethod
+    def _apply_tlb_slots(mirror, sets, ways, touches) -> None:
+        slot = sets * mirror.assoc + ways
+        order = np.lexsort((touches, slot))
+        sorted_slots = slot[order]
+        unique_slots, first, per_slot = np.unique(
+            sorted_slots, return_index=True, return_counts=True)
+        last_touch = touches[order][first + per_slot - 1]
+        entries = mirror.entries
+        assoc = mirror.assoc
+        for position in range(len(unique_slots)):
+            flat = int(unique_slots[position])
+            entry = entries[flat // assoc][flat % assoc]
+            entry.last_touch = int(last_touch[position])
+            entry.pte.features.accesses.increment(int(per_slot[position]))
+
+    @staticmethod
+    def _apply_cache_slots(mirror, sets, ways, writes) -> None:
+        count = len(sets)
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        unique_sets, set_first, set_counts = np.unique(
+            sorted_sets, return_index=True, return_counts=True)
+        # Rank of each touch within its set's touch sequence (1-based).
+        ranks = np.arange(count) - np.repeat(set_first, set_counts) + 1
+        cache_sets = mirror.cache._sets
+        bases = np.empty(len(unique_sets), dtype=np.int64)
+        for position in range(len(unique_sets)):
+            cache_set = cache_sets[int(unique_sets[position])]
+            bases[position] = cache_set.access_counter
+            cache_set.access_counter += int(set_counts[position])
+        touch_values = np.empty(count, dtype=np.int64)
+        touch_values[order] = (
+            bases[np.searchsorted(unique_sets, sorted_sets)] + ranks)
+
+        slot = sets * mirror.assoc + ways
+        order = np.lexsort((touch_values, slot))
+        sorted_slots = slot[order]
+        unique_slots, first, per_slot = np.unique(
+            sorted_slots, return_index=True, return_counts=True)
+        last_touch = touch_values[order][first + per_slot - 1]
+        write_any = np.logical_or.reduceat(writes[order], first)
+        blocks = mirror.blocks
+        assoc = mirror.assoc
+        for position in range(len(unique_slots)):
+            flat = int(unique_slots[position])
+            block = blocks[flat // assoc][flat % assoc]
+            block.reuse_count += int(per_slot[position])
+            block.prefetched = False
+            block.last_touch = int(last_touch[position])
+            if write_any[position]:
+                block.dirty = True
+
+    # -- scalar fallback -------------------------------------------------- #
+    def _scalar_ref(self, ctx, state, ref) -> None:
+        """One reference through the real object-model path.
+
+        Statement-for-statement the body of ``Simulator._process_batch``
+        (which is itself the historical fast loop); kept in sync by the
+        parity pins.
+        """
+        gap = ref.instruction_gap
+        state.instructions += gap + 1
+        ctx.record_instructions(gap + 1)
+        state.cycles += gap * ctx.base_cpi
+
+        paddr, translation_latency = ctx.translate_data(ref.vaddr)
+        state.cycles += translation_latency
+        state.translation_cycles += translation_latency
+
+        access = ctx.hierarchy_access(paddr, write=ref.is_write, ip=ref.ip)
+        state.cycles += access.latency
+        state.refs += 1
+        level = access.level
+        value = level.value
+        counts = state.level_counts
+        counts[value] = counts.get(value, 0) + 1
+        if level is MemoryLevel.L3 or level is MemoryLevel.DRAM:
+            state.data_l2_misses += 1
+            ctx.record_l2_cache_miss()
+
+        if state.instructions >= state.next_epoch:
+            state.next_epoch += ctx.epoch_instructions
+            if ctx.victima is not None:
+                state.reach_samples.append(
+                    ctx.victima.translation_reach_bytes())
+                state.reach_samples_4k.append(
+                    ctx.victima.translation_reach_bytes(assume_4k=True))
+
+
+def try_build_engine(system) -> Optional[VectorEngine]:
+    """Build (and cache on ``system``) a :class:`VectorEngine` if eligible.
+
+    Eligible systems are single-core native machines whose MMU exposes the
+    ``translate_data`` fast path with split single-page-size L1 D-TLBs, and
+    whose L1-D cache uses plain LRU replacement (the only policy the bulk
+    path replicates).  Anything else — virtualized MMUs, exotic L1 policies —
+    gets ``None`` and stays on the scalar loop.
+    """
+    cached = getattr(system, "_soa_engine", _MISSING)
+    if cached is not _MISSING:
+        return cached
+
+    engine = None
+    mmu = system.mmu
+    hierarchy = system.hierarchy
+    tlb4 = getattr(mmu, "l1_dtlb_4k", None)
+    tlb2 = getattr(mmu, "l1_dtlb_2m", None)
+    if (getattr(mmu, "translate_data", None) is not None
+            and getattr(mmu, "memory_manager", None) is not None
+            and tlb4 is not None and len(tlb4.page_sizes) == 1
+            and tlb2 is not None and len(tlb2.page_sizes) == 1
+            and type(hierarchy.l1d.policy) is LRUPolicy):
+        engine = VectorEngine(system)
+        registry = getattr(system, "stats_registry", None)
+        if registry is not None:
+            registry.register(engine)
+    system._soa_engine = engine
+    return engine

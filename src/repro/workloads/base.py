@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
@@ -175,6 +176,27 @@ class Workload:
                 append = batch.append
         if batch:
             yield batch
+
+    def fast_forward(self, stream: Iterator[MemoryRef], count: int) -> int:
+        """Skip up to ``count`` references from the *active* ``stream``.
+
+        ``stream`` must be the live iterator this workload is currently being
+        consumed through (its own ``generate()`` for plain workloads); after
+        the call, pulling from ``stream`` resumes exactly ``count`` references
+        later than it would have, as if the skipped references had been
+        generated and discarded.  Returns the number actually skipped, which
+        is smaller than ``count`` only when the stream ends early.
+
+        The base implementation drains the iterator, which is already faster
+        than detailed simulation but still pays per-ref generation cost.
+        Workloads whose generator state is cheap to advance analytically
+        override this to consume the same RNG draws without materialising
+        :class:`MemoryRef` objects (see ``RandomAccess.fast_forward``) — the
+        lever that makes SMARTS-style sampled simulation fast.  Overrides
+        must be *exactly* equivalent to draining: the sampled-mode parity
+        tests pin resumed streams bit-identical to drained ones.
+        """
+        return sum(1 for _ in islice(stream, count))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r}, max_refs={self.config.max_refs})"

@@ -43,3 +43,33 @@ class RandomAccess(Workload):
             else:
                 offset = self.rng.randrange(self.table_bytes // 8) * 8
                 yield self.ref(IP_UPDATE, self.table_base + offset, write=True)
+
+    def fast_forward(self, stream: Iterator[MemoryRef], count: int) -> int:
+        """Advance past ``count`` references without materialising them.
+
+        ``generate()`` carries no loop-local state between iterations — each
+        reference reads only ``self.rng`` and ``self._index_cursor`` — so the
+        suspended generator can be left untouched and the side effects of the
+        skipped iterations replayed directly: the same RNG draws in the same
+        order (branch draw, ``randrange`` for table updates, one
+        ``expovariate`` inside :meth:`Workload.gap`) plus the index-cursor
+        bump.  Exactness is by construction (the identical ``random.Random``
+        methods are called), and pinned against the drained default by
+        ``tests/test_sampling.py``.
+        """
+        rng = self.rng
+        random_draw = rng.random
+        randrange = rng.randrange
+        expovariate = rng.expovariate
+        fraction = self.index_fraction
+        bound = self.table_bytes // 8
+        mean = self.config.mean_instruction_gap
+        lambd = 1.0 / mean if mean > 0 else None
+        for _ in range(count):
+            if random_draw() < fraction:
+                self._index_cursor += 1
+            else:
+                randrange(bound)
+            if lambd is not None:
+                expovariate(lambd)  # the draw gap() would have consumed
+        return count

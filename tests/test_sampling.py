@@ -1,0 +1,222 @@
+"""SMARTS-style sampled simulation: fast-forward exactness, parity, CI."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import api
+from repro.common.errors import ConfigurationError
+from repro.scenario import ScenarioSpec
+from repro.sim.presets import make_system_config, make_workload_config
+from repro.sim.sampling import (SamplingConfig, sampling_metadata,
+                                window_series_summary)
+from repro.sim.simulator import Simulator
+from repro.workloads import make_workload
+
+
+# --------------------------------------------------------------------------- #
+# Workload.fast_forward exactness
+# --------------------------------------------------------------------------- #
+class TestFastForward:
+    """Skipping N refs must leave the stream exactly N refs later."""
+
+    @pytest.mark.parametrize("name", ["rnd", "bfs", "xs", "dlrm"])
+    def test_resumes_bit_identical_to_draining(self, name):
+        # Reference: drain the skipped region by materialising it.
+        drained = make_workload(name, max_refs=3000)
+        reference = list(itertools.islice(drained.generate(), 3000))
+
+        skipper = make_workload(name, max_refs=3000)
+        stream = skipper.generate()
+        head = list(itertools.islice(stream, 700))
+        skipped = skipper.fast_forward(stream, 800)
+        tail = list(itertools.islice(stream, 1500))
+
+        assert skipped == 800
+        assert head == reference[:700]
+        assert tail == reference[1500:3000]
+
+    def test_gups_override_matches_base_class_drain(self):
+        # RandomAccess overrides fast_forward analytically; the override must
+        # be indistinguishable from the base class's drain-the-iterator path.
+        fast = make_workload("rnd", max_refs=4000)
+        slow = make_workload("rnd", max_refs=4000)
+        fast_stream, slow_stream = fast.generate(), slow.generate()
+        assert fast.fast_forward(fast_stream, 1024) == 1024
+        # Base-class semantics, forced: drain through islice.
+        assert sum(1 for _ in itertools.islice(slow_stream, 1024)) == 1024
+        assert (list(itertools.islice(fast_stream, 2000))
+                == list(itertools.islice(slow_stream, 2000)))
+
+    def test_base_class_drain_reports_actual_skip(self):
+        # The base-class fast_forward drains the iterator, so a stream that
+        # ends early reports the references actually skipped.  (Analytic
+        # overrides like RandomAccess's are exempt: their contract requires
+        # the workload's own live generate() stream.)
+        workload = make_workload("bfs", max_refs=100)
+        stream = itertools.islice(workload.generate(), 100)
+        assert workload.fast_forward(stream, 250) == 100
+        assert next(stream, None) is None
+
+
+# --------------------------------------------------------------------------- #
+# SamplingConfig validation and (de)serialisation
+# --------------------------------------------------------------------------- #
+class TestSamplingConfig:
+    def test_defaults_roundtrip(self):
+        config = SamplingConfig(stride=8, warmup_refs=64, window_refs=512)
+        assert SamplingConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("kwargs", [
+        {"stride": 0},
+        {"window_refs": 0},
+        {"warmup_refs": -1},
+        {"warmup_refs": 1024, "window_refs": 1024},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(**kwargs)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplingConfig.from_dict({"stride": 2, "cadence": 5})
+
+    def test_window_series_summary(self):
+        empty = window_series_summary([])
+        assert empty == {"mean": 0.0, "std": 0.0, "ci95": 0.0}
+        single = window_series_summary([5.0])
+        assert single["mean"] == 5.0 and single["ci95"] == 0.0
+        series = window_series_summary([1.0, 3.0])
+        assert series["mean"] == 2.0
+        assert series["std"] == pytest.approx(2.0 ** 0.5)
+
+    def test_metadata_coverage(self):
+        meta = sampling_metadata(SamplingConfig(stride=4), [2.0, 2.0],
+                                 detailed_refs=300, skipped_refs=700)
+        assert meta["coverage"] == pytest.approx(0.3)
+        assert "per_core" not in meta
+        with_cores = sampling_metadata(SamplingConfig(stride=4), [],
+                                       detailed_refs=0, skipped_refs=0,
+                                       per_core=[{"core": 0}])
+        assert with_cores["per_core"] == [{"core": 0}]
+
+
+# --------------------------------------------------------------------------- #
+# Scenario / simulator threading
+# --------------------------------------------------------------------------- #
+class TestScenarioThreading:
+    def test_spec_roundtrip_and_hash(self):
+        plain = ScenarioSpec.from_dict({"system": "radix", "workload": "rnd"})
+        sampled = ScenarioSpec.from_dict({
+            "system": "radix", "workload": "rnd",
+            "sampling": {"stride": 4, "warmup_refs": 32}})
+        assert sampled.sampling == SamplingConfig(stride=4, warmup_refs=32)
+        assert "sampling" not in plain.to_dict()
+        assert sampled.to_dict()["sampling"]["stride"] == 4
+        # Sampling is physical: it changes the run cache identity; its
+        # absence leaves historical hashes untouched.
+        assert plain.content_hash() != sampled.content_hash()
+        rebuilt = ScenarioSpec.from_dict(sampled.to_dict())
+        assert rebuilt.content_hash() == sampled.content_hash()
+
+    def test_reference_loop_has_no_sampling_mode(self):
+        sim = Simulator.from_configs(
+            make_system_config("radix"),
+            make_workload_config("rnd", max_refs=2000))
+        sim.sampling = SamplingConfig(stride=2)
+        sim.fast_path = False
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+
+# --------------------------------------------------------------------------- #
+# Parity and accuracy
+# --------------------------------------------------------------------------- #
+def _single_core_sim(sampling=None, max_refs=8000):
+    sim = Simulator.from_configs(
+        make_system_config("radix"),
+        make_workload_config("rnd", max_refs=max_refs))
+    sim.sampling = sampling
+    return sim
+
+
+TWO_CORE_SPEC = {
+    "system": "victima",
+    "num_cores": 2,
+    "max_refs": 12000,
+    "hardware_scale": 8,
+    "workload": {"tenants": [{"workload": "bfs", "core": 0},
+                             {"workload": "rnd", "core": 1}]},
+}
+
+
+class TestSampledParity:
+    def test_stride_one_single_core_bit_identical(self):
+        full = _single_core_sim().run()
+        sampled = _single_core_sim(SamplingConfig(stride=1)).run()
+        meta = sampled.sampling
+        sampled.sampling = None
+        assert sampled == full
+        assert meta["skipped_refs"] == 0
+        assert meta["coverage"] == 1.0
+
+    def test_stride_one_multi_core_bit_identical(self):
+        full = api.simulate(TWO_CORE_SPEC, use_cache=False)
+        sampled_spec = dict(TWO_CORE_SPEC, sampling={"stride": 1})
+        sampled = api.simulate(sampled_spec, use_cache=False)
+        meta = sampled.sampling
+        sampled.sampling = None
+        assert sampled == full
+        assert meta["skipped_refs"] == 0
+        assert {entry["core"] for entry in meta["per_core"]} == {0, 1}
+
+    def test_sampled_skips_and_reports_windows(self):
+        result = _single_core_sim(
+            SamplingConfig(stride=4, warmup_refs=128), max_refs=16000).run()
+        meta = result.sampling
+        assert meta["skipped_refs"] > 0
+        assert meta["windows"] >= 2
+        assert 0.0 < meta["coverage"] < 1.0
+        assert meta["detailed_refs"] + meta["skipped_refs"] == 16000
+        assert len(meta["window_cycles_per_ref"]) == meta["windows"]
+
+    def test_sampled_ci_covers_full_run_on_default_preset(self):
+        """Acceptance pin: the sampled estimate brackets the full run.
+
+        GUPS on the radix baseline (the benchmark's default preset): the
+        sampled mean cycles-per-ref +/- its 95% confidence half-width must
+        cover the full run's measured cycles-per-ref.  Both runs are
+        deterministic, so this is an exact regression pin, not a flaky
+        statistical test.
+        """
+        refs = 40_000
+        full = _single_core_sim(max_refs=refs).run()
+        warmup = int(refs * 0.25)
+        full_cpr = full.cycles / (refs - warmup)
+
+        sampled = _single_core_sim(
+            SamplingConfig(stride=4, warmup_refs=256), max_refs=refs).run()
+        meta = sampled.sampling
+        low = meta["cycles_per_ref_mean"] - meta["cycles_per_ref_ci95"]
+        high = meta["cycles_per_ref_mean"] + meta["cycles_per_ref_ci95"]
+        assert low <= full_cpr <= high, (
+            f"full-run cpr {full_cpr:.2f} outside sampled CI "
+            f"[{low:.2f}, {high:.2f}]")
+        # And sampling actually skipped most of the run while doing it.
+        assert meta["coverage"] < 0.5
+
+    def test_multi_core_sampled_estimates_track_full_run(self):
+        full = api.simulate(TWO_CORE_SPEC, use_cache=False)
+        sampled_spec = dict(TWO_CORE_SPEC,
+                            sampling={"stride": 4, "warmup_refs": 128})
+        sampled = api.simulate(sampled_spec, use_cache=False)
+        per_core_full = {c.core: c for c in full.per_core}
+        for entry in sampled.sampling["per_core"]:
+            assert entry["skipped_refs"] > 0
+            core = per_core_full[entry["core"]]
+            full_cpr = core.cycles / core.memory_refs
+            # Per-core windows are few at this budget; allow 3 half-widths.
+            spread = 3 * entry["cycles_per_ref_ci95"]
+            assert abs(entry["cycles_per_ref_mean"] - full_cpr) <= spread

@@ -1,0 +1,189 @@
+"""Vectorized SoA fast path: mirror coherence, warm-up resets, parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.block import BlockKind
+from repro.sim.presets import make_system_config, make_workload_config
+from repro.sim.simulator import Simulator
+from repro.sim.soa import try_build_engine
+
+#: GUPS shrunk to an L1-resident working set: the regime where the batch
+#: gate opens and the vector engine classifies whole batches in bulk.
+L1_RESIDENT_PARAMS = {"table_bytes": 16384, "index_bytes": 8192,
+                      "index_fraction": 0.5}
+
+
+def _build_sim(preset="radix", refs=12000, params=L1_RESIDENT_PARAMS,
+               **sim_kwargs):
+    sim = Simulator.from_configs(
+        make_system_config(preset),
+        make_workload_config("rnd", max_refs=refs, **params))
+    for key, value in sim_kwargs.items():
+        setattr(sim, key, value)
+    return sim
+
+
+def _assert_tlb_mirror_coherent(mirror):
+    """The mirror's arrays must agree with the TLB + page table, slot by slot."""
+    tlb = mirror.tlb
+    mirror.sync()
+    lookup = mirror.memory_manager.page_table.lookup
+    for set_index in range(mirror.num_sets):
+        tlb_set = tlb._sets[set_index]
+        for way in range(mirror.assoc):
+            entry = tlb_set[way] if way < len(tlb_set) else None
+            current = (entry is not None
+                       and lookup(entry.vpn << mirror.shift) is entry.pte)
+            assert bool(mirror.valid[set_index, way]) == current, (
+                set_index, way)
+            if current:
+                assert mirror.vpn[set_index, way] == entry.vpn
+                assert mirror.asid[set_index, way] == entry.asid
+                assert (mirror.paddr_base[set_index, way]
+                        == entry.pte.pfn << mirror.shift)
+                assert mirror.entries[set_index][way] is entry
+
+
+def _assert_cache_mirror_coherent(mirror):
+    cache = mirror.cache
+    mirror.sync()
+    for set_index in range(mirror.num_sets):
+        ways = cache._sets[set_index].ways
+        for way in range(mirror.assoc):
+            block = ways[way]
+            if block is not None and block.kind is BlockKind.DATA:
+                assert mirror.block_number[set_index, way] == block.key[0]
+                assert mirror.blocks[set_index][way] is block
+            else:
+                assert mirror.block_number[set_index, way] == -1
+                assert mirror.blocks[set_index][way] is None
+
+
+class TestEngineEligibility:
+    def test_native_preset_builds_and_caches(self):
+        sim = _build_sim()
+        engine = try_build_engine(sim.system)
+        assert engine is not None
+        assert try_build_engine(sim.system) is engine  # cached
+
+    def test_mirrors_hook_into_structures(self):
+        sim = _build_sim()
+        engine = try_build_engine(sim.system)
+        assert sim.system.mmu.l1_dtlb_4k._mirror is engine.mirror4
+        assert sim.system.mmu.l1_dtlb_2m._mirror is engine.mirror2
+        assert sim.system.hierarchy.l1d._mirror is engine.mirror_l1d
+
+    def test_virtualized_system_builds_no_engine(self):
+        sim = Simulator.from_configs(
+            make_system_config("nested_paging"),
+            make_workload_config("rnd", max_refs=1000))
+        assert try_build_engine(sim.system) is None
+
+
+class TestMirrorCoherence:
+    def test_insert_and_invalidate_notify(self):
+        sim = _build_sim(refs=2000)
+        engine = try_build_engine(sim.system)
+        sim.run()
+        mirror = engine.mirror4
+        tlb = sim.system.mmu.l1_dtlb_4k
+        before_mut = mirror.mutations
+        entry = next(tlb.resident_entries())
+        tlb.invalidate_page(entry.vpn << mirror.shift, entry.asid)
+        assert mirror.mutations > before_mut
+        _assert_tlb_mirror_coherent(mirror)
+
+        before_mut = engine.mirror_l1d.mutations
+        sim.system.hierarchy.l1d.invalidate_matching(lambda block: True)
+        assert engine.mirror_l1d.mutations > before_mut
+        _assert_cache_mirror_coherent(engine.mirror_l1d)
+
+    def test_mirrors_coherent_after_engine_run(self):
+        sim = _build_sim()
+        engine = try_build_engine(sim.system)
+        sim.run()
+        _assert_tlb_mirror_coherent(engine.mirror4)
+        _assert_tlb_mirror_coherent(engine.mirror2)
+        _assert_cache_mirror_coherent(engine.mirror_l1d)
+
+
+class TestWarmupBoundary:
+    """Satellite pin: the warm-up stats reset cannot desync the mirrors."""
+
+    def test_engine_registered_with_stats_registry(self):
+        sim = _build_sim()
+        engine = try_build_engine(sim.system)
+        engine.mirror4.sync()
+        engine.mirror2.sync()
+        engine.mirror_l1d.sync()
+        assert not engine.mirror4._all_dirty
+        # The warm-up boundary resets measured stats through the registry;
+        # the engine rides along and must mark every mirror for re-sync.
+        sim.system.stats_registry.reset_all()
+        assert engine.mirror4._all_dirty
+        assert engine.mirror2._all_dirty
+        assert engine.mirror_l1d._all_dirty
+
+    def test_reset_invalidates_inflight_classifications(self):
+        sim = _build_sim()
+        engine = try_build_engine(sim.system)
+        engine.mirror4.sync()
+        versions = engine.mirror4.set_version.copy()
+        mutations = engine.mirror4.mutations
+        engine.reset_stats()
+        # Every set version moved, so any classification stamped with the
+        # old versions re-validates (and re-probes) before bulk application.
+        assert (engine.mirror4.set_version == versions + 1).all()
+        assert engine.mirror4.mutations == mutations + 1
+
+    @pytest.mark.parametrize("warmup_fraction", [0.25, 0.3])
+    def test_mid_run_boundary_keeps_mirrors_coherent(self, warmup_fraction):
+        # warmup_fraction=0.3 places the boundary mid-batch (3600 of 12000,
+        # not a multiple of the 1024-ref batch), exercising the reset while
+        # the engine holds an in-flight classification for the batch.
+        sim = _build_sim(warmup_fraction=warmup_fraction)
+        engine = try_build_engine(sim.system)
+        calls = {"batches": 0}
+        original = engine.process_batch
+
+        def counting(ctx, state, batch):
+            calls["batches"] += 1
+            return original(ctx, state, batch)
+
+        engine.process_batch = counting
+        sim.run()
+        assert calls["batches"] > 0, "vector engine never engaged"
+        _assert_tlb_mirror_coherent(engine.mirror4)
+        _assert_tlb_mirror_coherent(engine.mirror2)
+        _assert_cache_mirror_coherent(engine.mirror_l1d)
+
+
+class TestEngineParity:
+    """Engine-on == engine-off == reference loop, with the engine engaged."""
+
+    @pytest.mark.parametrize("preset", ["radix", "victima", "pom_tlb",
+                                        "hash_pt"])
+    def test_three_way_parity_in_engine_regime(self, preset):
+        sim = _build_sim(preset)
+        engine = try_build_engine(sim.system)
+        calls = {"batches": 0}
+        original = engine.process_batch
+
+        def counting(ctx, state, batch):
+            calls["batches"] += 1
+            return original(ctx, state, batch)
+
+        engine.process_batch = counting
+        vectored = sim.run()
+        assert calls["batches"] > 0, "vector engine never engaged"
+
+        scalar_sim = _build_sim(preset)
+        scalar_engine = try_build_engine(scalar_sim.system)
+        scalar_engine.wants_batch = lambda: False
+        scalar = scalar_sim.run()
+
+        reference = _build_sim(preset, fast_path=False).run()
+        assert vectored == scalar
+        assert vectored == reference

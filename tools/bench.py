@@ -17,6 +17,14 @@ divided by that wall time; with ``--repeats N`` the best of N runs is kept
 cell (GUPS on the radix baseline) is additionally run with the straight-line
 reference loop (``fast_path=False``) and reports the fast-path speedup.
 
+Two special cells ride along: ``gups_l1`` shrinks GUPS to an L1-resident
+working set, the regime where the vectorized SoA engine (repro.sim.soa)
+classifies whole batches in bulk, and ``gups_sampled`` runs the default
+preset under SMARTS sampling (one detailed window in every
+``SAMPLED_STRIDE``) over a 10× larger budget — its rate counts detailed and
+fast-forwarded references alike, and the cell records the per-window
+cycles-per-ref error bars.
+
 Usage
 -----
     python tools/bench.py                 # full matrix, writes BENCH_hotpath.json
@@ -47,6 +55,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.sim.presets import make_system_config, make_workload_config  # noqa: E402
+from repro.sim.sampling import SamplingConfig  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
 
 SCHEMA = "repro-bench-hotpath/1"
@@ -54,20 +63,41 @@ SCHEMA = "repro-bench-hotpath/1"
 #: Iterations of the calibration kernel (see :func:`calibration_score`).
 CALIBRATION_OPS = 200_000
 
-#: System presets benchmarked (the paper's baseline plus the two back-ends
-#: with the heaviest per-miss machinery).
-SYSTEMS = ("radix", "victima", "pom_tlb")
+#: System presets benchmarked: the paper's baseline, the two back-ends with
+#: the heaviest per-miss machinery, and the hashed-page-table backend.
+SYSTEMS = ("radix", "victima", "pom_tlb", "hash_pt")
 
-#: Benchmark-matrix workloads: friendly name -> registry name.  ``gups`` is
-#: the RND/GUPS random-access workload — the most translation-hostile stream
-#: and therefore the default preset the acceptance target is pinned to.
-WORKLOADS = (("gups", "rnd"), ("bfs", "bfs"), ("xsbench", "xs"))
+#: Benchmark-matrix workloads: friendly name -> (registry name, params).
+#: ``gups`` is the RND/GUPS random-access workload — the most
+#: translation-hostile stream and therefore the default preset the
+#: acceptance target is pinned to.  ``gups_l1`` shrinks the GUPS table until
+#: the working set is L1-resident: the regime where the vectorized SoA
+#: engine (repro.sim.soa) engages and classifies whole batches in bulk, so
+#: this cell tracks the vector path where the others track the scalar one.
+WORKLOADS = (
+    ("gups", "rnd", None),
+    ("gups_l1", "rnd", {"table_bytes": 16384, "index_bytes": 8192,
+                        "index_fraction": 0.5}),
+    ("bfs", "bfs", None),
+    ("xsbench", "xs", None),
+)
 
 #: The default preset: GUPS on the radix baseline.
 DEFAULT_PRESET = ("radix", "gups")
 
 FULL_REFS = 40_000
 QUICK_REFS = 8_000
+
+#: The SMARTS-sampled cell: the default preset with a larger reference
+#: budget so the fixed prefault/warm-up cost amortises, one detailed window
+#: in every ``SAMPLED_STRIDE`` and a short per-window re-warm.  Throughput
+#: counts the *whole* modelled budget (detailed + fast-forwarded) per wall
+#: second — the metric sampled simulation buys — and the cell records the
+#: per-window error bars alongside it.  The budget is always 10x the matrix
+#: cells' (quick mode and --refs scale it along).
+SAMPLED_REFS = 400_000
+SAMPLED_STRIDE = 32
+SAMPLED_WINDOW_WARMUP = 256
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -93,22 +123,38 @@ def calibration_score(repeats: int = 3) -> float:
     return CALIBRATION_OPS / min(one_pass() for _ in range(repeats))
 
 
-def _time_run(system: str, workload: str, refs: int, fast_path: bool) -> float:
-    """Build a fresh simulator and return the wall seconds of one run()."""
-    sim = Simulator.from_configs(make_system_config(system),
-                                 make_workload_config(workload, max_refs=refs))
+def _time_run(system: str, workload: str, refs: int, fast_path: bool,
+              params: Optional[Dict[str, object]] = None,
+              sampling: Optional[SamplingConfig] = None,
+              warmup_fraction: Optional[float] = None):
+    """Build a fresh simulator, run it and return (wall seconds, result)."""
+    sim = Simulator.from_configs(
+        make_system_config(system),
+        make_workload_config(workload, max_refs=refs, **(params or {})))
     sim.fast_path = fast_path
+    sim.sampling = sampling
+    if warmup_fraction is not None:
+        sim.warmup_fraction = warmup_fraction
     start = time.perf_counter()
-    sim.run()
-    return time.perf_counter() - start
+    result = sim.run()
+    return time.perf_counter() - start, result
 
 
 def _best_rate(system: str, workload: str, refs: int, repeats: int,
-               fast_path: bool = True) -> Tuple[float, float]:
-    """Return (seconds, refs_per_sec) for the best of ``repeats`` runs."""
-    best = min(_time_run(system, workload, refs, fast_path)
-               for _ in range(repeats))
-    return best, refs / best
+               fast_path: bool = True,
+               params: Optional[Dict[str, object]] = None,
+               sampling: Optional[SamplingConfig] = None,
+               warmup_fraction: Optional[float] = None):
+    """Return (seconds, refs_per_sec, result) for the best of ``repeats``."""
+    best = None
+    best_result = None
+    for _ in range(repeats):
+        seconds, result = _time_run(system, workload, refs, fast_path,
+                                    params=params, sampling=sampling,
+                                    warmup_fraction=warmup_fraction)
+        if best is None or seconds < best:
+            best, best_result = seconds, result
+    return best, refs / best, best_result
 
 
 def run_matrix(refs: int, repeats: int,
@@ -122,8 +168,9 @@ def run_matrix(refs: int, repeats: int,
     """
     cells: List[Dict[str, object]] = []
     for system in SYSTEMS:
-        for name, registry_name in WORKLOADS:
-            seconds, rate = _best_rate(system, registry_name, refs, repeats)
+        for name, registry_name, params in WORKLOADS:
+            seconds, rate, _ = _best_rate(system, registry_name, refs, repeats,
+                                          params=params)
             cell: Dict[str, object] = {
                 "system": system,
                 "workload": name,
@@ -134,17 +181,70 @@ def run_matrix(refs: int, repeats: int,
                 "calibration_ops_per_sec": round(calibration, 1),
             }
             if (system, name) == DEFAULT_PRESET:
-                ref_seconds, ref_rate = _best_rate(system, registry_name, refs,
-                                                   repeats, fast_path=False)
+                ref_seconds, ref_rate, _ = _best_rate(
+                    system, registry_name, refs, repeats, fast_path=False)
                 cell["reference_seconds"] = round(ref_seconds, 4)
                 cell["reference_refs_per_sec"] = round(ref_rate, 1)
                 cell["speedup_vs_reference"] = round(rate / ref_rate, 3)
             cells.append(cell)
-            print(f"  {system:>8} × {name:<8} {refs:>6} refs: "
+            print(f"  {system:>8} × {name:<12} {refs:>6} refs: "
                   f"{rate:>10.0f} refs/sec"
                   + (f"  ({cell['speedup_vs_reference']}x vs reference loop)"
                      if "speedup_vs_reference" in cell else ""))
     return cells
+
+
+def run_sampled_cell(refs: int, repeats: int,
+                     calibration: float) -> Dict[str, object]:
+    """Measure the SMARTS-sampled default-preset cell.
+
+    The cell is keyed ``(radix, gups_sampled, refs)`` so it merges and gates
+    like any other; ``refs_per_sec`` divides the whole modelled budget
+    (detailed *and* fast-forwarded references) by wall seconds, and the
+    ``sampling`` block carries the per-window cycles-per-ref error bars the
+    CI perf-smoke job publishes as an artifact.
+    """
+    system, name = DEFAULT_PRESET
+    registry_name = dict((n, r) for n, r, _ in WORKLOADS)[name]
+    sampling = SamplingConfig(stride=SAMPLED_STRIDE,
+                              warmup_refs=SAMPLED_WINDOW_WARMUP)
+    # SMARTS warm-up is fixed-length, not proportional: give the sampled run
+    # the same *absolute* global warm-up as the full default-preset cell
+    # (0.25 of the matrix budget), instead of 0.25 of its own 10x budget —
+    # otherwise the always-detailed warm-up region swallows the speedup.
+    warmup_fraction = 0.25 * FULL_REFS / SAMPLED_REFS
+    seconds, rate, result = _best_rate(system, registry_name, refs, repeats,
+                                       sampling=sampling,
+                                       warmup_fraction=warmup_fraction)
+    meta = result.sampling
+    cell: Dict[str, object] = {
+        "system": system,
+        "workload": name + "_sampled",
+        "refs": refs,
+        "repeats": repeats,
+        "seconds": round(seconds, 4),
+        "refs_per_sec": round(rate, 1),
+        "calibration_ops_per_sec": round(calibration, 1),
+        "sampling": {
+            "global_warmup_fraction": warmup_fraction,
+            "stride": meta["stride"],
+            "window_refs": meta["window_refs"],
+            "window_warmup_refs": meta["window_warmup_refs"],
+            "windows": meta["windows"],
+            "detailed_refs": meta["detailed_refs"],
+            "skipped_refs": meta["skipped_refs"],
+            "coverage": round(meta["coverage"], 4),
+            "cycles_per_ref_mean": round(meta["cycles_per_ref_mean"], 3),
+            "cycles_per_ref_std": round(meta["cycles_per_ref_std"], 3),
+            "cycles_per_ref_ci95": round(meta["cycles_per_ref_ci95"], 3),
+        },
+    }
+    print(f"  {system:>8} × {name + '_sampled':<12} {refs:>6} refs: "
+          f"{rate:>10.0f} refs/sec  "
+          f"(1/{meta['stride']} windows detailed, "
+          f"cpr {meta['cycles_per_ref_mean']:.1f} "
+          f"± {meta['cycles_per_ref_ci95']:.1f})")
+    return cell
 
 
 def _cell_key(cell: Dict[str, object]) -> Tuple[object, object, object]:
@@ -155,9 +255,12 @@ def check_regression(cells: List[Dict[str, object]], baseline_path: str,
                      tolerance: float, calibration: float) -> int:
     """Compare measured cells against a committed baseline file.
 
-    Returns the number of regressing cells.  Cells are only compared when the
-    baseline holds the same ``(system, workload, refs)`` key, so quick runs
-    never gate against full-mode numbers; it is an error if nothing matches.
+    Returns the number of regressing cells.  Cells are compared strictly
+    like-for-like — a measured cell gates against the baseline cell with the
+    same ``(system, workload, refs)`` key, so quick runs never gate against
+    full-mode numbers — and a measured cell with *no* matching baseline key
+    is an error, not a silent skip: a baseline that predates a new system or
+    workload must be regenerated, otherwise the new cells would never gate.
 
     Each baseline cell carrying a :func:`calibration_score` is rescaled by
     ``measured_calibration / cell_calibration`` before the tolerance is
@@ -172,9 +275,11 @@ def check_regression(cells: List[Dict[str, object]], baseline_path: str,
     print(f"  calibration here: {calibration:,.0f} ops/sec")
     compared = 0
     regressions = 0
+    missing: List[Tuple[object, object, object]] = []
     for cell in cells:
         base = baseline_cells.get(_cell_key(cell))
         if base is None:
+            missing.append(_cell_key(cell))
             continue
         compared += 1
         base_calibration = base.get("calibration_ops_per_sec")
@@ -188,6 +293,15 @@ def check_regression(cells: List[Dict[str, object]], baseline_path: str,
         print(f"  check {cell['system']:>8} × {cell['workload']:<8}: "
               f"{cell['refs_per_sec']:>10} vs expected {expected:>10.1f}"
               f"  [{status}]")
+    if missing:
+        keys = ", ".join(f"{system}×{workload}@{refs}"
+                         for system, workload, refs in missing)
+        raise SystemExit(
+            f"{len(missing)} measured cell(s) have no matching "
+            f"(system, workload, refs) baseline cell in {baseline_path}: "
+            f"{keys} — the check compares like-for-like keys only; "
+            f"regenerate the baseline with the same mode (--quick or full) "
+            f"so every cell gates")
     if compared == 0:
         raise SystemExit(
             f"no baseline cells in {baseline_path} match this run's "
@@ -242,11 +356,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     refs = args.refs if args.refs is not None else (QUICK_REFS if args.quick else FULL_REFS)
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
+    # The sampled cell models a 10x larger budget than the matrix cells
+    # (SAMPLED_REFS/FULL_REFS): sampling pays off by covering more program,
+    # not by shrinking the detailed work, so its budget scales with --refs.
+    sampled_refs = refs * (SAMPLED_REFS // FULL_REFS)
 
     print(f"hot-path throughput benchmark: {len(SYSTEMS)} presets × "
           f"{len(WORKLOADS)} workloads, {refs} refs, best of {repeats}")
     calibration = calibration_score()
     cells = run_matrix(refs, repeats, calibration)
+    cells.append(run_sampled_cell(sampled_refs, repeats, calibration))
 
     regressions = 0
     if args.check_against:
